@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Scale control
+-------------
+Benchmarks default to a scaled-down task count so the whole suite runs in
+minutes on a laptop.  Two environment variables widen the scope:
+
+* ``REPRO_FULL_SCALE=1`` -- the paper's full setup (500k tasks, 6 seeds).
+  Expect hours of wall time with the pure-Python kernel.
+* ``REPRO_BENCH_TASKS=<n>`` / ``REPRO_BENCH_SEEDS=<k>`` -- override the
+  scaled defaults directly.
+
+Every benchmark writes its rendered report and raw JSON into
+``results/`` at the repository root, which is where EXPERIMENTS.md points.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Scaled defaults (paper: 500_000 tasks, 6 seeds).
+DEFAULT_TASKS = 12_000
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+def bench_scale():
+    """(n_tasks, seeds) for the current invocation."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return 500_000, (1, 2, 3, 4, 5, 6)
+    n_tasks = int(os.environ.get("REPRO_BENCH_TASKS", DEFAULT_TASKS))
+    n_seeds = int(os.environ.get("REPRO_BENCH_SEEDS", len(DEFAULT_SEEDS)))
+    return n_tasks, tuple(range(1, n_seeds + 1))
+
+
+def save_report(name: str, text: str, data=None) -> None:
+    """Persist a rendered report (and optional JSON) under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2), encoding="utf-8"
+        )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark timer.
+
+    Simulation runs are long and deterministic; statistical repetition
+    belongs to the seed grid, not the wall-clock timer.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

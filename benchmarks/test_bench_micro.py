@@ -1,0 +1,77 @@
+"""Micro-benchmarks: kernel event throughput and metrics ingest.
+
+These are the only benches where wall-clock time is itself the result --
+they bound the cost of scaling the Figure 2 runs to the paper's 500k
+tasks, and catch kernel performance regressions.
+"""
+
+from conftest import save_report
+
+from repro.metrics import LogHistogram
+from repro.sim import Environment, PriorityItem, PriorityStore, Stream
+
+
+def pingpong_events(n_processes=100, horizon=100.0):
+    """A bank of timers: classic event-loop stress test."""
+    env = Environment()
+
+    def ticker(env, period):
+        while True:
+            yield env.timeout(period)
+
+    for i in range(n_processes):
+        env.process(ticker(env, 0.5 + 0.01 * i))
+    env.run(until=horizon)
+    return env.events_processed
+
+
+def store_churn(n_items=50_000):
+    env = Environment()
+    store = PriorityStore(env)
+    stream = Stream(1, "keys")
+    drained = []
+
+    def producer(env):
+        for i in range(n_items):
+            store.put(PriorityItem(stream.random(), i))
+            if i % 64 == 0:
+                yield env.timeout(0.001)
+
+    def consumer(env):
+        for _ in range(n_items):
+            item = yield store.get()
+            drained.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert len(drained) == n_items
+    return env.events_processed
+
+
+def histogram_ingest(n=200_000):
+    h = LogHistogram(min_value=1e-6, max_value=10.0, precision=0.01)
+    stream = Stream(2, "lat")
+    for _ in range(n):
+        h.record(stream.expovariate(1000.0) + 1e-6)
+    return h
+
+
+def test_event_throughput(benchmark):
+    events = benchmark(pingpong_events)
+    assert events > 10_000
+    rate = events / benchmark.stats.stats.mean
+    report = f"kernel event throughput: {rate:,.0f} events/s ({events} events)"
+    print("\n" + report)
+    save_report("micro_event_throughput", report)
+
+
+def test_priority_store_churn(benchmark):
+    events = benchmark.pedantic(store_churn, rounds=1, iterations=1)
+    assert events > 50_000
+
+
+def test_histogram_ingest(benchmark):
+    h = benchmark.pedantic(histogram_ingest, rounds=1, iterations=1)
+    assert h.count == 200_000
+    assert h.quantile(0.99) > h.quantile(0.5)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper, re-enacted on the full simulation stack.
+
+Two clients submit tasks T1=[A,B,C] and T2=[D,E] at the same instant to a
+3-server store with placement S1=[A,E], S2=[B,C], S3=[D] and unit service
+times.  A task-oblivious schedule serves A before E on S1, so T2 needs 2
+time units; the task-aware schedule flips them and T2 finishes in 1.
+
+Usage::
+
+    python examples/figure1_toy.py
+"""
+
+from repro.harness import figure1_toy
+
+
+def timeline(label: str, t1: float, t2: float) -> str:
+    """Render a tiny two-row completion timeline."""
+    width = 24
+    unit = width // 2
+
+    def bar(t: float) -> str:
+        filled = int(unit * t)
+        return "[" + "#" * filled + " " * (width - filled) + "]"
+
+    return (
+        f"{label}\n"
+        f"  T1 {bar(t1)} completes at t={t1:g}\n"
+        f"  T2 {bar(t2)} completes at t={t2:g}"
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    oblivious = figure1_toy(task_aware=False)
+    print(timeline("Task-oblivious schedule (FIFO servers):",
+                   oblivious.t1_completion, oblivious.t2_completion))
+    print()
+    for assigner in ("equalmax", "unifincr"):
+        aware = figure1_toy(task_aware=True, assigner_name=assigner)
+        print(timeline(f"Task-aware schedule ({assigner}):",
+                       aware.t1_completion, aware.t2_completion))
+        print()
+    print(
+        "T2's completion time drops from 2 to 1 service unit under the\n"
+        "task-aware schedule, exactly the paper's Figure 1 example: the\n"
+        "access to A has slack (T1 is bottlenecked by S2 serving B then C),\n"
+        "so S1 can serve E first at no cost to T1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Sweep system load and watch BRB's advantage over C3 grow.
+
+Scheduling only matters when queues form: at 40% load every policy is
+within a hair of the network+service floor; by 85% the task-aware
+scheduler is multiples faster at the median.
+
+Usage::
+
+    python examples/load_sweep.py [--tasks N] [--loads 0.4,0.55,0.7,0.85]
+"""
+
+import argparse
+
+from repro.analysis import render_table
+from repro.harness import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=6000)
+    parser.add_argument("--loads", type=str, default="0.4,0.55,0.7,0.85")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    loads = [float(x) for x in args.loads.split(",")]
+    rows = []
+    for load in loads:
+        summaries = {}
+        for strategy in ("c3", "unifincr-credits"):
+            cfg = ExperimentConfig(strategy=strategy, n_tasks=args.tasks, load=load)
+            summaries[strategy] = run_experiment(cfg, seed=args.seed).summary(
+                (50.0, 99.0)
+            )
+        c3, brb = summaries["c3"], summaries["unifincr-credits"]
+        rows.append(
+            {
+                "load": load,
+                "C3 p50 (ms)": c3.median * 1e3,
+                "BRB p50 (ms)": brb.median * 1e3,
+                "C3 p99 (ms)": c3.p99 * 1e3,
+                "BRB p99 (ms)": brb.p99 * 1e3,
+                "win @p50": c3.median / brb.median,
+                "win @p99": c3.p99 / brb.p99,
+            }
+        )
+        print(f"load {load:.0%} done")
+
+    print()
+    print(render_table(rows, title="C3 vs BRB (UnifIncr-credits) across load"))
+
+
+if __name__ == "__main__":
+    main()

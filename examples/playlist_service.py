@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""A playlist-service scenario built directly on the library's public API.
+
+The paper's motivating workload: "requesting all tracks in a playlist".
+This example skips the pre-canned harness and assembles a custom cluster
+by hand -- custom placement, a playlist-heavy fan-out mixture, hot-key
+skew -- then pits C3 against BRB/UnifIncr-credits on the *same* trace.
+
+It demonstrates the extension points a downstream user would touch:
+
+* building a workload from distribution objects,
+* constructing servers/clients/controller explicitly,
+* feeding an identical pre-generated trace to two systems.
+
+Usage::
+
+    python examples/playlist_service.py [n_tasks]
+"""
+
+import sys
+
+from repro.baselines import C3Selector, ObliviousStrategy
+from repro.cluster import BackendServer, Client, ClusterSpec, Network
+from repro.core import (
+    BRBCreditsStrategy,
+    CreditGate,
+    CreditsController,
+    UnifIncrAssigner,
+    equal_initial_shares,
+)
+from repro.metrics import ExactSample, LatencySummary
+from repro.scheduling import FifoDiscipline, PriorityDiscipline
+from repro.sim import Environment, StreamFactory
+from repro.workload import (
+    HotColdPopularity,
+    LogNormalFanout,
+    PoissonArrivals,
+    TaskGenerator,
+    ValueSizeRegistry,
+    atikoglu_etc,
+    calibrate_service_model,
+    task_arrival_rate_for_load,
+)
+
+SPEC = ClusterSpec(n_servers=6, cores_per_server=4, replication_factor=3)
+N_CLIENTS = 8
+LOAD = 0.72
+
+
+def build_trace(n_tasks: int, seed: int):
+    """Playlist-heavy workload: log-normal fan-out, hot 5% of tracks."""
+    sizes = atikoglu_etc()
+    service_model = calibrate_service_model(sizes, target_rate=SPEC.per_core_rate)
+    fanout = LogNormalFanout(target_mean=12.0, sigma=1.1, cap=256)
+    rate = task_arrival_rate_for_load(
+        LOAD, SPEC.n_servers, SPEC.cores_per_server, SPEC.per_core_rate, fanout.mean()
+    )
+    generator = TaskGenerator(
+        fanout=fanout,
+        popularity=HotColdPopularity(50_000, hot_fraction=0.05, hot_weight=0.6),
+        value_sizes=ValueSizeRegistry(sizes, seed=seed),
+        arrivals=PoissonArrivals(rate),
+        n_clients=N_CLIENTS,
+        streams=StreamFactory(seed),
+    )
+    return generator.generate(n_tasks), service_model
+
+
+def run_system(trace, service_model, system: str, seed: int) -> LatencySummary:
+    """Replay one trace through either 'c3' or 'brb'."""
+    env = Environment()
+    streams = StreamFactory(seed * 7919 + 13)
+    network = Network(env, latency=SPEC.make_latency_model(),
+                      stream=streams.stream("net"))
+    placement = SPEC.make_placement()
+    latencies = ExactSample()
+
+    controller = None
+    if system == "brb":
+        controller = CreditsController(
+            env, network, n_clients=N_CLIENTS,
+            server_capacities=SPEC.server_capacities(),
+        )
+
+    for server_id in range(SPEC.n_servers):
+        BackendServer(
+            env,
+            server_id=server_id,
+            cores=SPEC.cores_per_server,
+            service_model=service_model,
+            network=network,
+            service_stream=streams.stream(f"svc.{server_id}"),
+            discipline=(PriorityDiscipline() if system == "brb" else FifoDiscipline()),
+            congestion_interval=0.1 if system == "brb" else None,
+        )
+
+    clients = []
+    for client_id in range(N_CLIENTS):
+        if system == "brb":
+            gate = CreditGate(
+                env, network, client_id=client_id,
+                server_ids=list(range(SPEC.n_servers)),
+                initial_share=equal_initial_shares(
+                    SPEC.server_capacities(), N_CLIENTS, 0.1
+                ),
+            )
+            strategy = BRBCreditsStrategy(
+                placement, UnifIncrAssigner(), service_model, gate=gate
+            )
+        else:
+            strategy = ObliviousStrategy(
+                placement,
+                C3Selector(
+                    env,
+                    concurrency_weight=N_CLIENTS,
+                    stream=streams.stream(f"c3.{client_id}"),
+                    initial_rate=SPEC.server_capacity() / N_CLIENTS,
+                ),
+                service_model,
+            )
+        clients.append(
+            Client(env, client_id=client_id, network=network,
+                   strategy=strategy, task_recorder=latencies)
+        )
+
+    def feeder():
+        for task in trace:
+            delay = task.arrival_time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            clients[task.client_id].submit(task)
+
+    env.process(feeder(), name="feeder")
+    # Run until every client drained its pending tasks.
+    while True:
+        env.run(until=env.now + 1.0)
+        if all(c.pending_tasks == 0 for c in clients) and sum(
+            c.tasks_completed for c in clients
+        ) == len(trace):
+            break
+    return LatencySummary.from_recorder(system, latencies, (50.0, 95.0, 99.0))
+
+
+def main() -> None:
+    n_tasks = int(sys.argv[1]) if len(sys.argv) > 1 else 8000
+    print(f"playlist service: {n_tasks} tasks, {N_CLIENTS} app servers, "
+          f"{SPEC.n_servers}x{SPEC.cores_per_server} cores, load {LOAD:.0%}")
+    trace, service_model = build_trace(n_tasks, seed=11)
+    ops = sum(t.fanout for t in trace)
+    print(f"trace: {ops:,} reads, mean fan-out {ops / len(trace):.1f}\n")
+
+    for system in ("c3", "brb"):
+        summary = run_system(trace, service_model, system, seed=11)
+        print(summary)
+
+    print("\nBRB's task-aware priorities pay off most for multi-track "
+          "playlist fetches:\nthe long track list defines the bottleneck and "
+          "short profile reads slip ahead.")
+
+
+if __name__ == "__main__":
+    main()

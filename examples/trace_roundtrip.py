@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Generate, persist, inspect and replay a workload trace.
+
+Traces are the unit of reproducibility: generate once, save as JSON-lines,
+re-load anywhere, and replay through any strategy.  This example shows the
+whole loop and prints distribution statistics that should match the
+paper's disclosed workload properties (mean fan-out 8.6, Pareto sizes).
+
+Usage::
+
+    python examples/trace_roundtrip.py [path]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import cdf_sketch, render_table
+from repro.metrics import ExactSample
+from repro.workload import load_trace, make_soundcloud_workload, save_trace, trace_stats
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.gettempdir()) / "soundcloud_like.jsonl"
+
+    workload = make_soundcloud_workload(n_tasks=10_000)
+    trace = workload.generate(seed=42)
+    save_trace(path, trace, metadata={"seed": 42, "generator": "soundcloud-like"})
+    print(f"saved {len(trace)} tasks to {path}")
+
+    loaded, metadata = load_trace(path)
+    assert len(loaded) == len(trace)
+    print(f"reloaded with metadata {metadata}\n")
+
+    stats = trace_stats(loaded)
+    print(render_table(
+        [{"metric": k, "value": v} for k, v in stats.items()],
+        title="trace statistics (paper: mean fan-out 8.6)",
+    ))
+    print()
+
+    fanouts = ExactSample()
+    fanouts.record_many(float(t.fanout) for t in loaded)
+    points = [
+        (fanouts.quantile(q), q)
+        for q in (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+    ]
+    print(cdf_sketch(points, title="fan-out CDF (log x)"))
+    print()
+
+    sizes = ExactSample()
+    sizes.record_many(
+        float(op.value_size) for t in loaded for op in t.operations
+    )
+    print(
+        f"value sizes: p50={sizes.quantile(0.5):.0f}B "
+        f"p99={sizes.quantile(0.99):.0f}B max={sizes.max:.0f}B "
+        f"(generalized-Pareto, Atikoglu et al.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

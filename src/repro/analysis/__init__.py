@@ -1,0 +1,29 @@
+"""Analysis: tables, ASCII plots and statistics for experiment reports."""
+
+from .ascii_plots import bar_chart, cdf_sketch, grouped_bar_chart
+from .stats import (
+    bootstrap_ci,
+    coefficient_of_variation,
+    geometric_mean,
+    mean,
+    relative_gap,
+    slo_attainment,
+    stdev,
+)
+from .tables import percentile_matrix, ratio_table, render_table
+
+__all__ = [
+    "bar_chart",
+    "bootstrap_ci",
+    "cdf_sketch",
+    "coefficient_of_variation",
+    "geometric_mean",
+    "grouped_bar_chart",
+    "mean",
+    "percentile_matrix",
+    "ratio_table",
+    "relative_gap",
+    "render_table",
+    "slo_attainment",
+    "stdev",
+]

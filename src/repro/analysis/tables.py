@@ -1,0 +1,76 @@
+"""Plain-text table rendering for benchmark reports.
+
+No plotting dependencies are available offline, so every figure is
+regenerated as an aligned text table (the paper's Figure 2 bar chart
+becomes a percentile x strategy matrix) plus ASCII charts from
+:mod:`repro.analysis.ascii_plots`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+Row = _t.Mapping[str, _t.Any]
+
+
+def _format_cell(value: _t.Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    rows: _t.Sequence[Row],
+    columns: _t.Optional[_t.Sequence[str]] = None,
+    float_fmt: str = ".3f",
+    title: _t.Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        raise ValueError("no rows to render")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [
+        [_format_cell(row.get(c, ""), float_fmt) for c in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines: _t.List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines)
+
+
+def percentile_matrix(
+    summaries: _t.Mapping[str, _t.Mapping[float, float]],
+    percentiles: _t.Sequence[float],
+    unit_scale: float = 1e3,
+    unit: str = "ms",
+) -> str:
+    """Figure-2-style matrix: one row per strategy, one column per pctl."""
+    rows: _t.List[_t.Dict[str, _t.Any]] = []
+    for name, pcts in summaries.items():
+        row: _t.Dict[str, _t.Any] = {"strategy": name}
+        for p in percentiles:
+            row[f"p{p:g} ({unit})"] = pcts[p] * unit_scale
+        rows.append(row)
+    return render_table(rows)
+
+
+def ratio_table(
+    ratios: _t.Mapping[float, float],
+    label: str,
+    kind: str = "x",
+) -> str:
+    """Render per-percentile ratios ("C3 / BRB = 2.7x @ p99")."""
+    rows = [
+        {"percentile": f"p{p:g}", label: f"{v:.2f}{kind}"}
+        for p, v in sorted(ratios.items())
+    ]
+    return render_table(rows, float_fmt=".2f")

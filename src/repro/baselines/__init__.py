@@ -1,0 +1,27 @@
+"""Baselines: replica selectors (random, RR, LOR, C3) + oblivious dispatch."""
+
+from .c3 import C3Selector, C3State, CubicRateLimiter
+from .hedging import HedgedStrategy
+from .selectors import (
+    LeastOutstandingBytesSelector,
+    LeastOutstandingSelector,
+    RandomSelector,
+    ReplicaSelector,
+    RoundRobinSelector,
+    make_selector,
+)
+from .strategies import ObliviousStrategy
+
+__all__ = [
+    "C3Selector",
+    "C3State",
+    "CubicRateLimiter",
+    "HedgedStrategy",
+    "LeastOutstandingBytesSelector",
+    "LeastOutstandingSelector",
+    "ObliviousStrategy",
+    "RandomSelector",
+    "ReplicaSelector",
+    "RoundRobinSelector",
+    "make_selector",
+]

@@ -1,0 +1,199 @@
+"""Hedged requests: the "Tail at Scale" baseline.
+
+The paper cites request duplication (Dean & Barroso, CACM 2013) as the
+first family of tail-latency mitigations BRB complements.  This module
+implements the classic *hedged request* policy: send each read to the
+best replica; if no response arrives within a hedge delay, re-issue it to
+a different replica of the same group; the first response wins and the
+straggler is ignored (no cancellation -- the duplicate still consumes
+server capacity, which is exactly the policy's well-known cost).
+
+Used as an additional baseline in the ablations: hedging fights stragglers
+*after* they happen, BRB schedules so they happen less.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..cluster.client import DispatchStrategy
+from ..cluster.messages import RequestMessage, ResponseMessage
+from ..cluster.partitioner import Placement
+from ..cluster.server import client_address, server_address
+from ..metrics.histogram import LogHistogram
+from ..metrics.timeseries import WindowedRate
+from ..workload.calibration import ServiceTimeModel
+from ..workload.tasks import Task
+from .selectors import ReplicaSelector
+
+
+class HedgedStrategy(DispatchStrategy):
+    """Per-request replica selection with a one-shot hedge after a delay.
+
+    Two production safeguards from the Tail-at-Scale playbook are built
+    in, because without them hedging melts down under queueing (each
+    duplicate adds load, which delays more primaries, which spawns more
+    duplicates -- a positive feedback loop the straggler ablation
+    demonstrates when they are disabled):
+
+    * **adaptive threshold** -- once enough responses have been observed,
+      the effective hedge delay is the client's own p95 response latency
+      (never below ``hedge_delay``);
+    * **hedge budget** -- duplicates are capped at ``budget_fraction`` of
+      the recent send rate (Dean & Barroso suggest ~5%).
+
+    Parameters
+    ----------
+    hedge_delay:
+        Floor (and cold-start value) for the hedge threshold, seconds.
+    max_hedges:
+        Duplicates per request (1 = classic hedging).  The hedge goes to
+        the best *other* replica according to the selector.
+    budget_fraction:
+        Maximum hedges as a fraction of recent sends; ``1.0`` disables
+        the budget (unit tests of the raw mechanism use this).
+    adaptive:
+        Use the observed p95 as the threshold once warmed up.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        selector: ReplicaSelector,
+        service_model: ServiceTimeModel,
+        hedge_delay: float = 2e-3,
+        max_hedges: int = 1,
+        budget_fraction: float = 0.1,
+        adaptive: bool = True,
+    ) -> None:
+        if hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive")
+        if max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1")
+        if not (0.0 < budget_fraction <= 1.0):
+            raise ValueError("budget_fraction must be in (0, 1]")
+        self.placement = placement
+        self.selector = selector
+        self.service_model = service_model
+        self.hedge_delay = float(hedge_delay)
+        self.max_hedges = int(max_hedges)
+        self.name = f"hedged+{selector.name}"
+        #: op_id -> [answered, copies_in_flight]; entries are deleted once
+        #: every copy has returned, so memory stays bounded by the number
+        #: of in-flight ops rather than the length of the run.
+        self._ops: _t.Dict[int, _t.List[_t.Any]] = {}
+        self.budget_fraction = float(budget_fraction)
+        self.adaptive = bool(adaptive)
+        #: Observed response latencies; p95 drives the adaptive threshold.
+        self._latencies = LogHistogram(min_value=1e-6, max_value=1e3, precision=0.05)
+        self._send_rate = WindowedRate(window=1.0)
+        self._hedge_rate = WindowedRate(window=1.0)
+        self.hedges_sent = 0
+        self.wasted_responses = 0
+        self.hedges_suppressed = 0
+
+    def _threshold(self) -> float:
+        """Current hedge delay: observed p95 once warm, floor otherwise."""
+        if self.adaptive and self._latencies.count >= 100:
+            return max(self.hedge_delay, self._latencies.quantile(0.95))
+        return self.hedge_delay
+
+    def _budget_allows(self) -> bool:
+        now = self.client.env.now
+        sends = self._send_rate.count(now)
+        hedges = self._hedge_rate.count(now)
+        return hedges < self.budget_fraction * max(sends, 1.0)
+
+    # -- prepare ---------------------------------------------------------------
+    def prepare(self, task: Task) -> _t.List[RequestMessage]:
+        requests: _t.List[RequestMessage] = []
+        for op in task.operations:
+            partition = self.placement.partition_of(op.key)
+            request = RequestMessage(
+                op=op,
+                task_id=task.task_id,
+                client_id=self.client.client_id,
+                partition=partition,
+                expected_service=self.service_model.expected_time(op.value_size),
+            )
+            replicas = self.placement.replicas_of(partition)
+            request.server_id = self.selector.choose(replicas, request)
+            self.selector.on_assign(request)
+            requests.append(request)
+        return requests
+
+    # -- dispatch ---------------------------------------------------------------
+    def dispatch(self, requests: _t.Sequence[RequestMessage]) -> None:
+        for request in requests:
+            self._ops[request.op.op_id] = [False, 1]
+            self._send(request)
+            self.client.env.process(
+                self._hedge_timer(request),
+                name=f"hedge.{self.client.client_id}.{request.op.op_id}",
+            )
+
+    def _send(self, request: RequestMessage) -> None:
+        request.dispatched_at = self.client.env.now
+        self._send_rate.record(self.client.env.now)
+        self.selector.on_dispatch(request)
+        self.client.network.send(
+            client_address(self.client.client_id),
+            server_address(request.server_id),
+            request,
+        )
+
+    def _hedge_timer(self, primary: RequestMessage) -> _t.Generator:
+        env = self.client.env
+        for _ in range(self.max_hedges):
+            yield env.timeout(self._threshold())
+            entry = self._ops.get(primary.op.op_id)
+            if entry is None or entry[0]:
+                return  # answered in time: no hedge needed
+            if not self._budget_allows():
+                self.hedges_suppressed += 1
+                return
+            replicas = [
+                s
+                for s in self.placement.replicas_of(primary.partition)
+                if s != primary.server_id
+            ]
+            if not replicas:
+                return  # replication factor 1: nowhere to hedge
+            hedge = RequestMessage(
+                op=primary.op,
+                task_id=primary.task_id,
+                client_id=primary.client_id,
+                partition=primary.partition,
+                expected_service=primary.expected_service,
+            )
+            hedge.created_at = primary.created_at
+            hedge.server_id = self.selector.choose(replicas, hedge)
+            self.selector.on_assign(hedge)
+            entry[1] += 1
+            self.hedges_sent += 1
+            self._hedge_rate.record(env.now)
+            self._send(hedge)
+
+    # -- responses ---------------------------------------------------------------
+    def accepts_response(self, response: ResponseMessage) -> bool:
+        """First response per op wins; stragglers are swallowed."""
+        op_id = response.request.op.op_id
+        self.selector.on_response(response)
+        entry = self._ops.get(op_id)
+        if entry is None:
+            raise RuntimeError(f"response for unknown op {op_id}")
+        entry[1] -= 1
+        first = not entry[0]
+        entry[0] = True
+        if first:
+            self._latencies.record(
+                max(1e-9, self.client.env.now - response.request.created_at)
+            )
+        else:
+            self.wasted_responses += 1
+        if entry[1] <= 0:
+            del self._ops[op_id]
+        return first
+
+    def on_response(self, response: ResponseMessage) -> None:
+        """Selector feedback happens in accepts_response (both copies)."""

@@ -1,0 +1,112 @@
+"""Task-oblivious dispatch strategies (the baselines' client side).
+
+The oblivious strategy selects a replica *per request* (no notion of
+sub-tasks or bottlenecks), attaches no meaningful priority, and sends
+requests as soon as the pacing policy allows.  Servers run FIFO (or any
+configured task-oblivious discipline).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..cluster.client import DispatchStrategy
+from ..cluster.messages import RequestMessage, ResponseMessage
+from ..cluster.partitioner import Placement
+from ..cluster.server import client_address, server_address
+from ..workload.calibration import ServiceTimeModel
+from ..workload.tasks import Task
+from .c3 import C3Selector
+from .selectors import ReplicaSelector
+
+
+class ObliviousStrategy(DispatchStrategy):
+    """Per-request replica selection, immediate (or paced) dispatch."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        selector: ReplicaSelector,
+        service_model: ServiceTimeModel,
+    ) -> None:
+        self.placement = placement
+        self.selector = selector
+        self.service_model = service_model
+        self.name = f"oblivious+{selector.name}"
+        #: Requests waiting for a send slot, per server (C3 pacing only).
+        self._paced_backlog: _t.Dict[int, _t.List[RequestMessage]] = {}
+        self._pacer_active: _t.Set[int] = set()
+
+    # -- prepare ---------------------------------------------------------------
+    def prepare(self, task: Task) -> _t.List[RequestMessage]:
+        requests: _t.List[RequestMessage] = []
+        for op in task.operations:
+            partition = self.placement.partition_of(op.key)
+            request = RequestMessage(
+                op=op,
+                task_id=task.task_id,
+                client_id=self.client.client_id,
+                partition=partition,
+                expected_service=self.service_model.expected_time(op.value_size),
+            )
+            replicas = self.placement.replicas_of(partition)
+            request.server_id = self.selector.choose(replicas, request)
+            self.selector.on_assign(request)
+            requests.append(request)
+        return requests
+
+    # -- dispatch ---------------------------------------------------------------
+    def dispatch(self, requests: _t.Sequence[RequestMessage]) -> None:
+        for request in requests:
+            self._send_or_queue(request)
+
+    def _send_or_queue(self, request: RequestMessage) -> None:
+        selector = self.selector
+        if isinstance(selector, C3Selector) and not selector.try_acquire(
+            request.server_id
+        ):
+            backlog = self._paced_backlog.setdefault(request.server_id, [])
+            backlog.append(request)
+            self._ensure_pacer(request.server_id)
+            return
+        self._send(request)
+
+    def _send(self, request: RequestMessage) -> None:
+        env = self.client.env
+        request.dispatched_at = env.now
+        self.selector.on_dispatch(request)
+        self.client.network.send(
+            client_address(self.client.client_id),
+            server_address(request.server_id),
+            request,
+        )
+
+    def _ensure_pacer(self, server_id: int) -> None:
+        if server_id in self._pacer_active:
+            return
+        self._pacer_active.add(server_id)
+        self.client.env.process(
+            self._pacer(server_id),
+            name=f"client{self.client.client_id}.pacer{server_id}",
+        )
+
+    def _pacer(self, server_id: int) -> _t.Generator:
+        """Drain the paced backlog as rate-limit tokens mature.
+
+        The wait is floored at 1 us: the token bucket can report
+        sub-representable residual waits, and ``now + epsilon == now`` in
+        doubles would freeze virtual time.
+        """
+        env = self.client.env
+        selector = _t.cast(C3Selector, self.selector)
+        backlog = self._paced_backlog[server_id]
+        while backlog:
+            if selector.try_acquire(server_id):
+                self._send(backlog.pop(0))
+                continue
+            yield env.timeout(max(1e-6, selector.time_until_slot(server_id)))
+        self._pacer_active.discard(server_id)
+
+    # -- feedback ---------------------------------------------------------------
+    def on_response(self, response: ResponseMessage) -> None:
+        self.selector.on_response(response)

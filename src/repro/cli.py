@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        run one experiment and print a percentile summary
+``figure1``    the paper's toy example (deterministic)
+``figure2``    the headline evaluation across strategies and seeds
+``trace``      generate / inspect workload traces
+``strategies`` list the strategy names the runner understands
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from .analysis import grouped_bar_chart, percentile_matrix, ratio_table, render_table
+from .harness import (
+    ExperimentConfig,
+    FIGURE2_STRATEGIES,
+    KNOWN_STRATEGIES,
+    figure1_toy,
+    figure2,
+    figure2_series,
+    run_experiment,
+)
+from .metrics import PAPER_PERCENTILES
+from .workload import load_trace, make_soundcloud_workload, save_trace, trace_stats
+
+
+def _add_run(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("run", help="run a single experiment")
+    p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
+    p.add_argument("--tasks", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--load", type=float, default=0.70)
+    p.add_argument("--fanout", type=float, default=8.6)
+    p.add_argument("--slow-server", type=int, default=-1,
+                   help="inject a 3x slowdown on this server id")
+    p.set_defaults(func=_cmd_run)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        strategy=args.strategy,
+        n_tasks=args.tasks,
+        load=args.load,
+        mean_fanout=args.fanout,
+        slowdown_server=args.slow_server,
+    )
+    print(f"running {config.describe()} (seed {args.seed})")
+    result = run_experiment(config, seed=args.seed)
+    print(result.summary((50.0, 90.0, 95.0, 99.0, 99.9)))
+    rows = [{"metric": k, "value": v} for k, v in sorted(result.extras.items())]
+    rows.append({"metric": "events_processed", "value": result.events_processed})
+    rows.append({"metric": "sim_duration_s", "value": result.sim_duration})
+    print(render_table(rows))
+    return 0
+
+
+def _add_figure1(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("figure1", help="the paper's toy schedule")
+    p.set_defaults(func=_cmd_figure1)
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    oblivious = figure1_toy(task_aware=False)
+    aware = figure1_toy(task_aware=True)
+    rows = [
+        {"schedule": "task-oblivious", "T1": oblivious.t1_completion,
+         "T2": oblivious.t2_completion},
+        {"schedule": "task-aware", "T1": aware.t1_completion,
+         "T2": aware.t2_completion},
+    ]
+    print(render_table(rows, title="Figure 1 (completion in service units)",
+                       float_fmt=".1f"))
+    return 0
+
+
+def _add_figure2(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("figure2", help="reproduce the evaluation figure")
+    p.add_argument("--tasks", type=int, default=12_000)
+    p.add_argument("--seeds", type=int, default=3)
+    p.add_argument("--out", type=str, default=None, help="raw JSON output path")
+    p.set_defaults(func=_cmd_figure2)
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    comparison = figure2(
+        n_tasks=args.tasks, seeds=tuple(range(1, args.seeds + 1))
+    )
+    summaries = {n: comparison.summary_of(n) for n in FIGURE2_STRATEGIES}
+    print(percentile_matrix(
+        {n: s.percentiles for n, s in summaries.items()},
+        percentiles=PAPER_PERCENTILES,
+    ))
+    print()
+    print(grouped_bar_chart(figure2_series(comparison),
+                            title="Figure 2 -- task read latency (ms)"))
+    print()
+    print(ratio_table(comparison.speedup("c3", "equalmax-credits"),
+                      label="C3 / EqualMax-credits"))
+    if args.out:
+        comparison.save_json(args.out)
+        print(f"raw results -> {args.out}")
+    return 0
+
+
+def _add_trace(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("trace", help="generate or inspect traces")
+    sub = p.add_subparsers(dest="trace_command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a SoundCloud-like trace")
+    gen.add_argument("path")
+    gen.add_argument("--tasks", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--fanout", type=float, default=8.6)
+    gen.set_defaults(func=_cmd_trace_generate)
+
+    stats = sub.add_parser("stats", help="print statistics of a saved trace")
+    stats.add_argument("path")
+    stats.set_defaults(func=_cmd_trace_stats)
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    workload = make_soundcloud_workload(
+        n_tasks=args.tasks, mean_fanout=args.fanout
+    )
+    trace = workload.generate(seed=args.seed)
+    save_trace(args.path, trace, metadata={"seed": args.seed})
+    print(f"wrote {len(trace)} tasks to {args.path}")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    tasks, metadata = load_trace(args.path)
+    print(f"metadata: {metadata}")
+    rows = [{"metric": k, "value": v} for k, v in trace_stats(tasks).items()]
+    print(render_table(rows))
+    return 0
+
+
+def _add_strategies(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("strategies", help="list known strategies")
+    p.set_defaults(func=_cmd_strategies)
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    for name in KNOWN_STRATEGIES:
+        marker = "*" if name in FIGURE2_STRATEGIES else " "
+        print(f" {marker} {name}")
+    print("\n * = plotted in the paper's Figure 2")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BRB (SIGCOMM'15) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run(subparsers)
+    _add_figure1(subparsers)
+    _add_figure2(subparsers)
+    _add_trace(subparsers)
+    _add_strategies(subparsers)
+    return parser
+
+
+def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

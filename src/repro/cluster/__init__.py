@@ -1,0 +1,63 @@
+"""Cluster substrate: servers, clients, network, partitioning, messages."""
+
+from .client import Client, DispatchStrategy
+from .faults import SlowdownInjector
+from .messages import (
+    CongestionSignal,
+    CreditGrant,
+    DemandReport,
+    RequestMessage,
+    ResponseMessage,
+    ServerFeedback,
+    TaskCompletion,
+)
+from .network import (
+    ConstantLatency,
+    JitteredLatency,
+    LatencyModel,
+    Network,
+    PAPER_ONE_WAY_LATENCY,
+)
+from .partitioner import (
+    ConsistentHashRing,
+    Placement,
+    RingPlacement,
+    stable_hash,
+)
+from .server import (
+    BackendServer,
+    CONTROLLER_ADDRESS,
+    PullServer,
+    client_address,
+    server_address,
+)
+from .topology import ClusterSpec, PAPER_CLUSTER
+
+__all__ = [
+    "BackendServer",
+    "CONTROLLER_ADDRESS",
+    "Client",
+    "ClusterSpec",
+    "CongestionSignal",
+    "ConsistentHashRing",
+    "ConstantLatency",
+    "CreditGrant",
+    "DemandReport",
+    "DispatchStrategy",
+    "JitteredLatency",
+    "LatencyModel",
+    "Network",
+    "PAPER_CLUSTER",
+    "PAPER_ONE_WAY_LATENCY",
+    "Placement",
+    "PullServer",
+    "RequestMessage",
+    "ResponseMessage",
+    "RingPlacement",
+    "ServerFeedback",
+    "SlowdownInjector",
+    "TaskCompletion",
+    "client_address",
+    "server_address",
+    "stable_hash",
+]

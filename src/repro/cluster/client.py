@@ -1,0 +1,161 @@
+"""Clients (application servers): task intake, dispatch and accounting.
+
+A :class:`Client` receives whole tasks, hands them to its
+:class:`DispatchStrategy` (which encodes the scheduling approach under
+test: task-oblivious + C3, BRB-credits, BRB-model, ...), and records the
+task latency when the last response arrives.  The strategy decides *where*
+each request goes (replica selection), *what priority* it carries and
+*when* it leaves the client (credit gating); the client owns the
+bookkeeping that is common to all strategies.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..metrics.counters import MetricRegistry
+from ..sim.engine import Environment
+from ..workload.tasks import Task
+from .messages import RequestMessage, ResponseMessage, TaskCompletion
+from .network import Network
+from .server import client_address
+
+
+class DispatchStrategy:
+    """Per-client strategy hook.
+
+    ``prepare`` turns a task into request messages (choosing servers and
+    priorities); ``dispatch`` moves them toward the backend (possibly
+    delayed by gating); ``on_response`` feeds back completions (C3 state,
+    outstanding-bytes tracking, credit accounting).
+    """
+
+    #: Human-readable strategy name (used in reports).
+    name: str = "abstract"
+
+    def bind(self, client: "Client") -> None:
+        """Attach the per-client context (called once by the client)."""
+        self.client = client
+
+    def prepare(self, task: Task) -> _t.List[RequestMessage]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def dispatch(self, requests: _t.Sequence[RequestMessage]) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def on_response(self, response: ResponseMessage) -> None:
+        """Default: no feedback needed."""
+
+
+class TaskRecorder(_t.Protocol):  # pragma: no cover - typing helper
+    """Anything that can absorb task completions (histograms, lists...)."""
+
+    def record(self, value: float) -> None: ...
+
+
+class Client:
+    """An application server issuing batched reads to the data store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_id: int,
+        network: Network,
+        strategy: DispatchStrategy,
+        task_recorder: _t.Optional[TaskRecorder] = None,
+        request_recorder: _t.Optional[TaskRecorder] = None,
+        metrics: _t.Optional[MetricRegistry] = None,
+        on_complete: _t.Optional[_t.Callable[[TaskCompletion], None]] = None,
+        request_observer: _t.Optional[_t.Callable[[RequestMessage], None]] = None,
+    ) -> None:
+        self.env = env
+        self.client_id = int(client_id)
+        self.network = network
+        self.strategy = strategy
+        self.task_recorder = task_recorder
+        self.request_recorder = request_recorder
+        self.on_complete = on_complete
+        self.request_observer = request_observer
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        #: task_id -> (task, remaining responses)
+        self._pending: _t.Dict[int, _t.Tuple[Task, int]] = {}
+        #: Completions observed (kept lightweight; full latency lists live
+        #: in the recorders).
+        self.tasks_completed = 0
+        self.tasks_submitted = 0
+        self.completions: _t.List[TaskCompletion] = []
+        self.keep_completions = False
+        network.register(client_address(self.client_id), self.handle_message)
+        strategy.bind(self)
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Accept a task at its arrival time and set its requests moving."""
+        if task.task_id in self._pending:
+            raise ValueError(f"task {task.task_id} already pending")
+        requests = self.strategy.prepare(task)
+        if len(requests) != task.fanout:
+            raise RuntimeError(
+                f"strategy {self.strategy.name!r} prepared {len(requests)} "
+                f"requests for a fan-out-{task.fanout} task"
+            )
+        for request in requests:
+            request.created_at = self.env.now
+        self._pending[task.task_id] = (task, len(requests))
+        self.tasks_submitted += 1
+        self.metrics.counter(f"client.{self.client_id}.tasks").increment()
+        self.strategy.dispatch(requests)
+
+    # -- responses ---------------------------------------------------------------
+    def handle_message(self, message: _t.Any) -> None:
+        if isinstance(message, ResponseMessage):
+            self._handle_response(message)
+        else:
+            # Credit grants and other control messages are routed to the
+            # strategy, which knows what to do with them.
+            handler = getattr(self.strategy, "on_control", None)
+            if handler is None:
+                raise TypeError(
+                    f"client {self.client_id} got unexpected message {message!r}"
+                )
+            handler(message)
+
+    def _handle_response(self, response: ResponseMessage) -> None:
+        request = response.request
+        # Strategies that duplicate requests (hedging) veto straggler
+        # responses so the per-task completion count stays exact.
+        accepts = getattr(self.strategy, "accepts_response", None)
+        if accepts is not None and not accepts(response):
+            return
+        self.strategy.on_response(response)
+        if self.request_recorder is not None:
+            # Request latency as the client sees it: creation to response
+            # arrival (both network directions + queueing + service).
+            self.request_recorder.record(self.env.now - request.created_at)
+        if self.request_observer is not None:
+            self.request_observer(request)
+        entry = self._pending.get(request.task_id)
+        if entry is None:
+            raise RuntimeError(
+                f"client {self.client_id} got response for unknown task "
+                f"{request.task_id}"
+            )
+        task, remaining = entry
+        remaining -= 1
+        if remaining > 0:
+            self._pending[request.task_id] = (task, remaining)
+            return
+        del self._pending[request.task_id]
+        self.tasks_completed += 1
+        completion = TaskCompletion(task=task, completed_at=self.env.now)
+        if self.task_recorder is not None:
+            self.task_recorder.record(completion.latency)
+        if self.on_complete is not None:
+            self.on_complete(completion)
+        if self.keep_completions:
+            self.completions.append(completion)
+        self.metrics.counter(f"client.{self.client_id}.completed").increment()
+
+    @property
+    def pending_tasks(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,75 @@
+"""Fault injection: transient server slowdowns.
+
+Tail-latency papers live and die by stragglers, so the substrate can make
+them on demand: a :class:`SlowdownInjector` multiplies one server's
+service times by a factor for a window (background compaction, GC pause,
+noisy neighbour).  Used by the straggler ablation to compare how C3's
+adaptive ranking, hedging and BRB's scheduling each absorb a degraded
+replica.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..sim.engine import Environment
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .server import _ServerBase
+
+
+class SlowdownInjector:
+    """Periodically degrades a server's service rate.
+
+    Parameters
+    ----------
+    server:
+        Any server built on ``_ServerBase`` (queue or pull mode).
+    factor:
+        Service-time multiplier while degraded (3.0 = 3x slower).
+    start:
+        First degradation onset (virtual seconds).
+    duration:
+        Length of each degraded window.
+    period:
+        Onset-to-onset spacing for recurring slowdowns; ``None`` injects a
+        single window.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server: "_ServerBase",
+        factor: float = 3.0,
+        start: float = 0.0,
+        duration: float = 1.0,
+        period: _t.Optional[float] = None,
+    ) -> None:
+        if factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if period is not None and period <= duration:
+            raise ValueError("period must exceed duration")
+        self.env = env
+        self.server = server
+        self.factor = float(factor)
+        self.start = float(start)
+        self.duration = float(duration)
+        self.period = period
+        self.windows_injected = 0
+        env.process(self._run(), name=f"slowdown.server{server.server_id}")
+
+    def _run(self) -> _t.Generator:
+        if self.start > 0:
+            yield self.env.timeout(self.start)
+        while True:
+            self.server.speed_factor = self.factor
+            self.windows_injected += 1
+            yield self.env.timeout(self.duration)
+            self.server.speed_factor = 1.0
+            if self.period is None:
+                return
+            yield self.env.timeout(self.period - self.duration)

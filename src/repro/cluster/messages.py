@@ -1,0 +1,135 @@
+"""Wire messages exchanged between clients, servers and the controller.
+
+A :class:`RequestMessage` is the unit the servers schedule.  It carries the
+BRB priority (assigned client-side), the client's service-time forecast and
+a timestamp trail that the metrics layer and the tests use to audit the
+request life-cycle (created -> dispatched -> enqueued -> service start ->
+completed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..workload.tasks import Operation, Task
+
+
+@dataclasses.dataclass
+class RequestMessage:
+    """One key read in flight.
+
+    ``priority`` is a totally ordered tuple; *smaller sorts first*.  The
+    scheduling disciplines and the BRB priority assigners only ever produce
+    tuples of floats/ints, so comparisons never fail at runtime.
+    """
+
+    op: Operation
+    task_id: int
+    client_id: int
+    #: Replica group / partition this operation belongs to.
+    partition: int
+    #: Server chosen to serve the request (set by replica selection).
+    server_id: int = -1
+    #: Scheduling priority (smaller = served earlier).
+    priority: _t.Tuple[float, ...] = (0.0,)
+    #: Client-side forecast of the service time (the request's "cost").
+    expected_service: float = 0.0
+    #: Cost of the bottleneck sub-task of the enclosing task.
+    bottleneck_cost: float = 0.0
+
+    # -- life-cycle timestamps (virtual time; -1 = not yet) -----------------
+    created_at: float = -1.0
+    dispatched_at: float = -1.0
+    enqueued_at: float = -1.0
+    service_start_at: float = -1.0
+    completed_at: float = -1.0
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent in the server queue (valid once service started)."""
+        if self.service_start_at < 0 or self.enqueued_at < 0:
+            raise ValueError("request has not started service yet")
+        return self.service_start_at - self.enqueued_at
+
+    @property
+    def service_time(self) -> float:
+        """Actual service duration (valid once completed)."""
+        if self.completed_at < 0 or self.service_start_at < 0:
+            raise ValueError("request has not completed yet")
+        return self.completed_at - self.service_start_at
+
+    @property
+    def client_latency(self) -> float:
+        """Created-to-completed latency as the client observes it.
+
+        Includes both network directions; valid once the response arrived
+        (the response delivery sets ``completed_at`` to service completion,
+        the client adds the return network delay when recording).
+        """
+        if self.completed_at < 0:
+            raise ValueError("request has not completed yet")
+        return self.completed_at - self.created_at
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerFeedback:
+    """Server state piggybacked on every response (C3-style feedback)."""
+
+    server_id: int
+    #: Requests queued (not yet in service) when the response left.
+    queue_length: int
+    #: Requests currently in service.
+    in_service: int
+    #: Server-measured EWMA of recent service times.
+    ewma_service_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponseMessage:
+    """Completion notice flowing server -> client."""
+
+    request: RequestMessage
+    feedback: ServerFeedback
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandReport:
+    """Client -> controller: demand per server since the last report."""
+
+    client_id: int
+    time: float
+    #: server_id -> requests the client wants to send there.
+    demand: _t.Mapping[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class CreditGrant:
+    """Controller -> client: credits per server for the next epoch."""
+
+    client_id: int
+    epoch: int
+    #: server_id -> number of requests the client may dispatch.
+    credits: _t.Mapping[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class CongestionSignal:
+    """Server -> controller: demand exceeded capacity this epoch."""
+
+    server_id: int
+    time: float
+    #: Ratio of offered load to capacity observed by the server (>= 1).
+    overload_ratio: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskCompletion:
+    """Internal record emitted when the last response of a task arrives."""
+
+    task: Task
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.task.arrival_time

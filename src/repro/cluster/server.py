@@ -1,0 +1,280 @@
+"""Backend servers: multi-core request execution.
+
+Two execution models, matching the paper's two realizations:
+
+* :class:`BackendServer` -- owns a local queue ordered by a pluggable
+  discipline (FIFO for task-oblivious baselines, priority for
+  BRB-credits).  Requests are pushed to it through the network.
+* :class:`PullServer` -- owns no queue; its cores *work-pull* from a single
+  global priority store shared by all clients (the paper's ideal "model"
+  realization), restricted to requests of partitions the server replicates.
+
+Both use the same service-time model (value-size dependent, calibrated to
+the paper's 3500 req/s/core) and piggyback queue feedback on responses for
+C3's replica ranking.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..metrics.counters import MetricRegistry
+from ..metrics.timeseries import EwmaEstimator, WindowedRate
+from ..sim.engine import Environment
+from ..sim.rng import Stream
+from ..sim.resources import PriorityFilterStore, PriorityItem, PriorityStore
+from ..scheduling.disciplines import Discipline, FifoDiscipline
+from ..workload.calibration import ServiceTimeModel
+from .messages import (
+    CongestionSignal,
+    RequestMessage,
+    ResponseMessage,
+    ServerFeedback,
+)
+from .network import Network
+
+
+def server_address(server_id: int) -> _t.Tuple[str, int]:
+    """Network address of a server."""
+    return ("server", server_id)
+
+
+def client_address(client_id: int) -> _t.Tuple[str, int]:
+    """Network address of a client (application server)."""
+    return ("client", client_id)
+
+
+CONTROLLER_ADDRESS: _t.Tuple[str, int] = ("controller", 0)
+
+
+class _ServerBase:
+    """Shared machinery: service execution, feedback, instrumentation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        cores: int,
+        service_model: ServiceTimeModel,
+        network: Network,
+        service_stream: Stream,
+        metrics: _t.Optional[MetricRegistry] = None,
+        ewma_time_constant: float = 0.1,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.env = env
+        self.server_id = int(server_id)
+        self.cores = int(cores)
+        self.service_model = service_model
+        self.network = network
+        self.service_stream = service_stream
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.in_service = 0
+        self.completed = 0
+        self.busy_time = 0.0
+        #: Service-time multiplier; >1 while a fault injector degrades us.
+        self.speed_factor = 1.0
+        self._ewma_service = EwmaEstimator(ewma_time_constant, initial=0.0)
+        #: Arrival-rate tracker for congestion detection (credits strategy).
+        self.arrival_rate = WindowedRate(window=0.1)
+
+    # -- to be provided by subclasses ---------------------------------------
+    def queue_length(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- service path ---------------------------------------------------------
+    def feedback(self) -> ServerFeedback:
+        """Current queue state, piggybacked on responses (C3 input)."""
+        return ServerFeedback(
+            server_id=self.server_id,
+            queue_length=self.queue_length(),
+            in_service=self.in_service,
+            ewma_service_time=self._ewma_service.value,
+        )
+
+    def _serve(self, request: RequestMessage) -> _t.Generator:
+        """Execute one request on the calling core and send the response."""
+        request.service_start_at = self.env.now
+        duration = self.speed_factor * self.service_model.sample_time(
+            request.op.value_size, self.service_stream
+        )
+        yield self.env.timeout(duration)
+        request.completed_at = self.env.now
+        self.in_service -= 1
+        self.completed += 1
+        self.busy_time += duration
+        self._ewma_service.update(self.env.now, duration)
+        self.metrics.counter(f"server.{self.server_id}.completed").increment()
+        response = ResponseMessage(request=request, feedback=self.feedback())
+        self.network.send(
+            server_address(self.server_id),
+            client_address(request.client_id),
+            response,
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core-time spent serving so far."""
+        if self.env.now <= 0:
+            return 0.0
+        return self.busy_time / (self.env.now * self.cores)
+
+    def capacity(self) -> float:
+        """Estimated requests/second this server sustains (all cores)."""
+        mean = self._ewma_service.value
+        if mean <= 0:
+            # No observations yet: fall back to the calibrated model with a
+            # nominal 1 KiB value.
+            mean = self.service_model.expected_time(1024)
+        return self.cores / mean
+
+
+class BackendServer(_ServerBase):
+    """Queue-owning server (task-oblivious baselines and BRB-credits).
+
+    Requests arrive via the network into a priority store ordered by the
+    configured discipline; ``cores`` worker processes drain it.
+
+    When ``congestion_interval`` is set, a monitor process compares the
+    offered arrival rate against the server's capacity every interval and
+    sends a :class:`CongestionSignal` to the controller when overloaded --
+    the signal path the paper's credits strategy requires.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        cores: int,
+        service_model: ServiceTimeModel,
+        network: Network,
+        service_stream: Stream,
+        discipline: _t.Optional[Discipline] = None,
+        metrics: _t.Optional[MetricRegistry] = None,
+        congestion_interval: _t.Optional[float] = None,
+        congestion_threshold: float = 1.3,
+    ) -> None:
+        super().__init__(
+            env, server_id, cores, service_model, network, service_stream, metrics
+        )
+        self.discipline = discipline if discipline is not None else FifoDiscipline()
+        self._store = PriorityStore(env)
+        self.congestion_interval = congestion_interval
+        self.congestion_threshold = congestion_threshold
+        self.congestion_signals_sent = 0
+        network.register(server_address(self.server_id), self.handle_message)
+        for core in range(self.cores):
+            env.process(self._core_loop(), name=f"server{self.server_id}.core{core}")
+        if congestion_interval is not None:
+            if congestion_interval <= 0:
+                raise ValueError("congestion_interval must be positive")
+            env.process(
+                self._congestion_monitor(), name=f"server{self.server_id}.monitor"
+            )
+
+    # -- message handling -----------------------------------------------------
+    def handle_message(self, message: _t.Any) -> None:
+        if not isinstance(message, RequestMessage):
+            raise TypeError(f"server got unexpected message {message!r}")
+        message.enqueued_at = self.env.now
+        self.arrival_rate.record(self.env.now)
+        self.metrics.counter(f"server.{self.server_id}.enqueued").increment()
+        key = self.discipline.key(message, self.env.now)
+        self._store.put(PriorityItem(key, message))
+        depth = self.metrics.gauge(f"server.{self.server_id}.queue_depth")
+        depth.set(len(self._store))
+
+    def queue_length(self) -> int:
+        return len(self._store)
+
+    # -- processes --------------------------------------------------------------
+    def _core_loop(self) -> _t.Generator:
+        while True:
+            item = yield self._store.get()
+            request = _t.cast(RequestMessage, _t.cast(PriorityItem, item).item)
+            self.in_service += 1
+            yield from self._serve(request)
+
+    def _congestion_monitor(self) -> _t.Generator:
+        interval = _t.cast(float, self.congestion_interval)
+        while True:
+            yield self.env.timeout(interval)
+            offered = self.arrival_rate.rate(self.env.now)
+            cap = self.capacity()
+            # Backlog counts as offered work too: a deep queue with modest
+            # arrivals is still congestion.
+            backlog_rate = self.queue_length() / interval
+            ratio = (offered + backlog_rate) / cap if cap > 0 else float("inf")
+            if ratio > self.congestion_threshold:
+                self.congestion_signals_sent += 1
+                self.network.send(
+                    server_address(self.server_id),
+                    CONTROLLER_ADDRESS,
+                    CongestionSignal(
+                        server_id=self.server_id,
+                        time=self.env.now,
+                        overload_ratio=ratio,
+                    ),
+                )
+
+
+class PullServer(_ServerBase):
+    """Work-pulling server for the ideal *model* realization.
+
+    All clients put prioritized requests into one shared
+    :class:`PriorityFilterStore`; each core of each server pulls the
+    globally smallest-priority request whose partition the server
+    replicates.  This is exactly the paper's unrealizable ideal: perfect,
+    instantaneous knowledge of the global queue.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        cores: int,
+        service_model: ServiceTimeModel,
+        network: Network,
+        service_stream: Stream,
+        global_queue: PriorityFilterStore,
+        partitions: _t.Iterable[int],
+        metrics: _t.Optional[MetricRegistry] = None,
+    ) -> None:
+        super().__init__(
+            env, server_id, cores, service_model, network, service_stream, metrics
+        )
+        self.global_queue = global_queue
+        self.partitions = frozenset(partitions)
+        if not self.partitions:
+            raise ValueError(f"server {server_id} replicates no partitions")
+        # The model still needs a network address: responses flow back and
+        # some tests ping servers directly.
+        network.register(server_address(self.server_id), self._reject)
+        for core in range(self.cores):
+            env.process(self._core_loop(), name=f"pull{self.server_id}.core{core}")
+
+    def _reject(self, message: _t.Any) -> None:
+        raise TypeError(
+            f"pull-server {self.server_id} does not accept pushed messages"
+        )
+
+    def _accepts(self, item: _t.Any) -> bool:
+        request = _t.cast(RequestMessage, _t.cast(PriorityItem, item).item)
+        return request.partition in self.partitions
+
+    def queue_length(self) -> int:
+        # The global queue is shared; report only this server's eligible
+        # backlog so the feedback stays meaningful.
+        return sum(1 for item in self.global_queue.items if self._accepts(item))
+
+    def _core_loop(self) -> _t.Generator:
+        while True:
+            item = yield self.global_queue.get(self._accepts)
+            request = _t.cast(RequestMessage, _t.cast(PriorityItem, item).item)
+            request.enqueued_at = (
+                request.enqueued_at if request.enqueued_at >= 0 else self.env.now
+            )
+            request.server_id = self.server_id
+            self.in_service += 1
+            yield from self._serve(request)

@@ -1,0 +1,43 @@
+"""BRB core: task-aware priorities, credits and the ideal model."""
+
+from .brb_client import BRBCreditsStrategy, BRBModelStrategy
+from .cost import CostModel, SubTask, bottleneck, split_task
+from .credits import (
+    CreditGate,
+    CreditsController,
+    DEFAULT_EPOCH,
+    DEFAULT_MEASUREMENT_INTERVAL,
+    equal_initial_shares,
+)
+from .model_queue import GlobalQueue
+from .priorities import (
+    EqualMaxAssigner,
+    FifoAssigner,
+    Priority,
+    PriorityAssigner,
+    SjfAssigner,
+    UnifIncrAssigner,
+    make_assigner,
+)
+
+__all__ = [
+    "BRBCreditsStrategy",
+    "BRBModelStrategy",
+    "CostModel",
+    "CreditGate",
+    "CreditsController",
+    "DEFAULT_EPOCH",
+    "DEFAULT_MEASUREMENT_INTERVAL",
+    "EqualMaxAssigner",
+    "FifoAssigner",
+    "GlobalQueue",
+    "Priority",
+    "PriorityAssigner",
+    "SjfAssigner",
+    "SubTask",
+    "UnifIncrAssigner",
+    "bottleneck",
+    "equal_initial_shares",
+    "make_assigner",
+    "split_task",
+]

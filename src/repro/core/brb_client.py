@@ -1,0 +1,149 @@
+"""BRB dispatch strategies: task-aware preparation + two realizations.
+
+Shared preparation (both realizations):
+
+1. split the task into sub-tasks, one per replica group
+   (:func:`repro.core.cost.split_task`);
+2. forecast costs and find the bottleneck sub-task;
+3. assign every request a priority via EqualMax or UnifIncr;
+4. (credits realization) pin each sub-task to one replica of its group
+   using least-outstanding-*bytes* selection, so the sub-task's cost model
+   ("ops serialize at one server") matches where the ops actually go.
+
+Realizations:
+
+* :class:`BRBCreditsStrategy` -- requests flow through the client's
+  :class:`~repro.core.credits.CreditGate` to per-server priority queues.
+* :class:`BRBModelStrategy` -- requests flow into the shared
+  :class:`~repro.core.model_queue.GlobalQueue`; any replica may pull them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..baselines.selectors import LeastOutstandingBytesSelector
+from ..cluster.client import DispatchStrategy
+from ..cluster.messages import CreditGrant, RequestMessage, ResponseMessage
+from ..cluster.partitioner import Placement
+from ..workload.calibration import ServiceTimeModel
+from ..workload.tasks import Task
+from .cost import CostModel, bottleneck, split_task
+from .credits import CreditGate
+from .model_queue import GlobalQueue
+from .priorities import PriorityAssigner
+
+
+class _BRBBase(DispatchStrategy):
+    """Shared task-aware preparation."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        assigner: PriorityAssigner,
+        service_model: ServiceTimeModel,
+    ) -> None:
+        self.placement = placement
+        self.assigner = assigner
+        self.cost_model = CostModel(service_model)
+
+    def _prepare_common(
+        self, task: Task, select_replicas: bool
+    ) -> _t.List[RequestMessage]:
+        subtasks = split_task(task, self.placement.partition_of, self.cost_model)
+        priorities = self.assigner.assign(task, subtasks)
+        bott = bottleneck(subtasks)
+        requests: _t.List[RequestMessage] = []
+        for st in subtasks:
+            for op, op_cost in zip(st.operations, st.op_costs):
+                request = RequestMessage(
+                    op=op,
+                    task_id=task.task_id,
+                    client_id=self.client.client_id,
+                    partition=st.partition,
+                    priority=priorities[op.op_id],
+                    expected_service=op_cost,
+                    bottleneck_cost=bott.cost,
+                )
+                if select_replicas:
+                    # Load-aware (least-outstanding-bytes) selection *per
+                    # request*: the sub-task groups requests for priority
+                    # purposes, but a large sub-task still spreads across
+                    # its replica group rather than serializing on one
+                    # server ("intelligent replica selection ... in a
+                    # load-aware fashion").
+                    request.server_id = self._choose_replica(st.partition, request)
+                requests.append(request)
+        return requests
+
+    def _choose_replica(
+        self, partition: int, probe: RequestMessage
+    ) -> int:  # pragma: no cover - overridden where used
+        raise NotImplementedError
+
+
+class BRBCreditsStrategy(_BRBBase):
+    """BRB over the realizable credits machinery."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        assigner: PriorityAssigner,
+        service_model: ServiceTimeModel,
+        gate: CreditGate,
+        selector: _t.Optional[LeastOutstandingBytesSelector] = None,
+    ) -> None:
+        super().__init__(placement, assigner, service_model)
+        self.gate = gate
+        self.selector = selector if selector is not None else LeastOutstandingBytesSelector()
+        self.name = f"brb-credits+{assigner.name}"
+
+    def _choose_replica(self, partition: int, probe: RequestMessage) -> int:
+        replicas = self.placement.replicas_of(partition)
+        server = self.selector.choose(replicas, probe)
+        # Account immediately so the next op of the same burst sees this
+        # assignment's load and spreads instead of herding.
+        probe.server_id = server
+        self.selector.on_assign(probe)
+        return server
+
+    def prepare(self, task: Task) -> _t.List[RequestMessage]:
+        return self._prepare_common(task, select_replicas=True)
+
+    def dispatch(self, requests: _t.Sequence[RequestMessage]) -> None:
+        for request in requests:
+            self.gate.submit(request)
+
+    def on_response(self, response: ResponseMessage) -> None:
+        self.selector.on_response(response)
+
+    def on_control(self, message: _t.Any) -> None:
+        """Route credit grants to the gate."""
+        if isinstance(message, CreditGrant):
+            self.gate.on_grant(message)
+        else:
+            raise TypeError(f"BRB-credits got unexpected control {message!r}")
+
+
+class BRBModelStrategy(_BRBBase):
+    """BRB over the ideal global-queue realization."""
+
+    def __init__(
+        self,
+        placement: Placement,
+        assigner: PriorityAssigner,
+        service_model: ServiceTimeModel,
+        global_queue: GlobalQueue,
+    ) -> None:
+        super().__init__(placement, assigner, service_model)
+        self.global_queue = global_queue
+        self.name = f"brb-model+{assigner.name}"
+
+    def prepare(self, task: Task) -> _t.List[RequestMessage]:
+        # No replica selection: any server of the group may pull the
+        # request, which is exactly the flexibility the ideal model enjoys.
+        return self._prepare_common(task, select_replicas=False)
+
+    def dispatch(self, requests: _t.Sequence[RequestMessage]) -> None:
+        for request in requests:
+            self.global_queue.submit(request)

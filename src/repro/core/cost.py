@@ -1,0 +1,102 @@
+"""Cost model: forecasting request and sub-task service times.
+
+BRB schedules by *expected* service time ("based on the size of the value
+they are requesting").  The forecaster shares the deterministic part of
+the servers' service-time model -- clients know value sizes (the data model
+stores them with the keys) and the cluster's calibrated cost curve, but
+not the stochastic noise a specific execution will see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..workload.calibration import ServiceTimeModel
+from ..workload.tasks import Operation, Task
+
+
+@dataclasses.dataclass(frozen=True)
+class SubTask:
+    """All operations of one task destined for one replica group."""
+
+    task_id: int
+    partition: int
+    operations: _t.Tuple[Operation, ...]
+    #: Forecast cost of serving the whole sub-task at a single replica
+    #: (sum of per-op costs: the ops serialize in the worst case).
+    cost: float
+    #: Per-operation forecast costs, aligned with ``operations``.
+    op_costs: _t.Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ValueError("sub-task must contain at least one operation")
+        if len(self.op_costs) != len(self.operations):
+            raise ValueError("op_costs misaligned with operations")
+
+    @property
+    def size(self) -> int:
+        return len(self.operations)
+
+
+class CostModel:
+    """Forecasts service times from value sizes."""
+
+    def __init__(self, service_model: ServiceTimeModel) -> None:
+        self.service_model = service_model
+
+    def op_cost(self, op: Operation) -> float:
+        """Forecast service time of a single operation."""
+        return self.service_model.expected_time(op.value_size)
+
+    def subtask_cost(self, ops: _t.Sequence[Operation]) -> float:
+        """Forecast completion cost of ops serialized at one replica."""
+        return sum(self.op_cost(op) for op in ops)
+
+
+def split_task(
+    task: Task,
+    partition_of: _t.Callable[[int], int],
+    cost_model: CostModel,
+) -> _t.List[SubTask]:
+    """Partition a task's operations into sub-tasks (one per replica group).
+
+    This is the first step of BRB's client-side algorithm: "clients
+    subdivide [the task] into a set of sub-tasks, one for each replica
+    group; a sub-task contains all requests for a distinct replica group."
+
+    Sub-tasks are returned in deterministic order (ascending partition id)
+    so priority tie-breaking is reproducible.
+    """
+    groups: _t.Dict[int, _t.List[Operation]] = {}
+    for op in task.operations:
+        groups.setdefault(partition_of(op.key), []).append(op)
+    subtasks: _t.List[SubTask] = []
+    for partition in sorted(groups):
+        ops = tuple(groups[partition])
+        op_costs = tuple(cost_model.op_cost(op) for op in ops)
+        subtasks.append(
+            SubTask(
+                task_id=task.task_id,
+                partition=partition,
+                operations=ops,
+                cost=sum(op_costs),
+                op_costs=op_costs,
+            )
+        )
+    return subtasks
+
+
+def bottleneck(subtasks: _t.Sequence[SubTask]) -> SubTask:
+    """The costliest sub-task -- the one that bounds task completion time.
+
+    Ties break toward the smaller partition id (deterministic).
+    """
+    if not subtasks:
+        raise ValueError("no sub-tasks")
+    best = subtasks[0]
+    for st in subtasks[1:]:
+        if st.cost > best.cost:
+            best = st
+    return best

@@ -1,0 +1,56 @@
+"""The ideal *model* realization: one global priority queue.
+
+"In an ideal case, referred to as model, servers utilize a work-pulling
+mechanism to fetch requests from a single global priority-based queue
+shared by all clients.  However, such a model is unrealizable since it
+assumes perfect knowledge of global state."
+
+We realize the ideal as a shared :class:`PriorityFilterStore`; clients
+submit prioritized requests into it (after the usual client->backend
+network delay -- the model is ideal with respect to *knowledge*, not
+physics) and :class:`~repro.cluster.server.PullServer` cores pull the
+globally smallest-priority request they can serve.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..cluster.messages import RequestMessage
+from ..cluster.network import LatencyModel
+from ..sim.engine import Environment
+from ..sim.resources import PriorityFilterStore, PriorityItem
+from ..sim.rng import Stream
+
+
+class GlobalQueue:
+    """Shared priority queue plus the submission delay model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyModel,
+        stream: Stream,
+    ) -> None:
+        self.env = env
+        self.latency = latency
+        self.stream = stream
+        self.store = PriorityFilterStore(env)
+        self.submitted = 0
+
+    def submit(self, request: RequestMessage) -> None:
+        """Enqueue after one network delay (client -> backend tier)."""
+        request.dispatched_at = self.env.now
+        self.submitted += 1
+        delay = self.latency.sample(self.stream)
+        event = self.env.timeout(delay, value=request)
+
+        def _arrive(ev: _t.Any) -> None:
+            req = _t.cast(RequestMessage, ev.value)
+            req.enqueued_at = self.env.now
+            self.store.put(PriorityItem(req.priority, req))
+
+        event.callbacks.append(_arrive)
+
+    def __len__(self) -> int:
+        return len(self.store)

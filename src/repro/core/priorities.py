@@ -1,0 +1,165 @@
+"""Priority assignment: EqualMax and UnifIncr (Section 2.1 of the paper).
+
+Both algorithms derive per-request priorities from the task's *bottleneck*
+sub-task (the costliest one).  Priorities are tuples ordered
+lexicographically; **smaller sorts first** at the servers.
+
+* **EqualMax** -- every request inherits the bottleneck cost.  Tasks with
+  short bottlenecks beat tasks with long ones everywhere; within a task all
+  requests are equal.  ("Requests are given the same priority as that of
+  the bottleneck sub-task ... equivalent to Shortest Job First, [using]
+  the bottleneck instead of the individual service time.")
+* **UnifIncr** -- a request's priority is its *slack*: the difference
+  between the bottleneck cost and the request's own cost.  Requests that
+  are themselves long (likely to bottleneck their task) get small slack =
+  high priority; short requests can afford to wait.  ("Requests are ranked
+  based on the difference between the cost of the bottleneck sub-task and
+  their individual cost.")
+
+Tie-breaking: ``(value, task_arrival_time, op_id)`` -- FIFO between equal
+priorities, deterministic overall.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..workload.tasks import Task
+from .cost import SubTask, bottleneck
+
+#: Priority type: lexicographically ordered tuple, smaller served first.
+Priority = _t.Tuple[float, float, float]
+
+
+class PriorityAssigner:
+    """Interface: map (task, sub-tasks) to per-operation priorities."""
+
+    name: str = "abstract"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        """Return ``{op_id: priority}`` covering every op of the task."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class EqualMaxAssigner(PriorityAssigner):
+    """All requests carry the bottleneck sub-task's cost."""
+
+    name = "equalmax"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        bott = bottleneck(subtasks)
+        priorities: _t.Dict[int, Priority] = {}
+        for st in subtasks:
+            for op in st.operations:
+                priorities[op.op_id] = (bott.cost, task.arrival_time, float(op.op_id))
+        return priorities
+
+
+class UnifIncrAssigner(PriorityAssigner):
+    """Requests ranked by slack behind the bottleneck.
+
+    ``slack(op) = bottleneck_cost - cost(op)``; the bottleneck sub-task's
+    *total* residual is spread over its own ops so that ops of the
+    bottleneck sub-task are always at least as urgent as any op of a
+    cheaper sub-task with the same individual cost.
+    """
+
+    name = "unifincr"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        bott = bottleneck(subtasks)
+        priorities: _t.Dict[int, Priority] = {}
+        for st in subtasks:
+            for op, op_cost in zip(st.operations, st.op_costs):
+                slack = bott.cost - op_cost
+                priorities[op.op_id] = (slack, task.arrival_time, float(op.op_id))
+        return priorities
+
+
+class FifoAssigner(PriorityAssigner):
+    """Task-arrival-ordered priorities (the null hypothesis for ablations).
+
+    With priority = arrival time, a priority-queue server degenerates to
+    task-FIFO; comparing this against EqualMax/UnifIncr under the same
+    credits realization isolates the value of *task-aware* priorities from
+    the value of the credits machinery itself.
+    """
+
+    name = "fifo"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        return {
+            op.op_id: (task.arrival_time, task.arrival_time, float(op.op_id))
+            for st in subtasks
+            for op in st.operations
+        }
+
+
+class SjfAssigner(PriorityAssigner):
+    """Per-request SJF priorities (size-aware but task-oblivious).
+
+    Ablation point between FIFO and the task-aware assigners: priority is
+    the op's own cost, ignoring the bottleneck entirely.
+    """
+
+    name = "sjf"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        return {
+            op.op_id: (op_cost, task.arrival_time, float(op.op_id))
+            for st in subtasks
+            for op, op_cost in zip(st.operations, st.op_costs)
+        }
+
+
+class EdfAssigner(PriorityAssigner):
+    """Earliest-deadline-first priorities: arrival + bottleneck cost.
+
+    The deadline of every request of a task is the earliest instant the
+    task could possibly finish.  Equivalent to EqualMax with an arrival
+    offset; included as an ablation because EDF is the classic deadline
+    scheduler the paper's "slack" intuition is usually compared against.
+    """
+
+    name = "edf"
+
+    def assign(
+        self, task: Task, subtasks: _t.Sequence[SubTask]
+    ) -> _t.Dict[int, Priority]:
+        bott = bottleneck(subtasks)
+        deadline = task.arrival_time + bott.cost
+        return {
+            op.op_id: (deadline, task.arrival_time, float(op.op_id))
+            for st in subtasks
+            for op in st.operations
+        }
+
+
+_ASSIGNERS: _t.Dict[str, _t.Callable[[], PriorityAssigner]] = {
+    "equalmax": EqualMaxAssigner,
+    "unifincr": UnifIncrAssigner,
+    "fifo": FifoAssigner,
+    "sjf": SjfAssigner,
+    "edf": EdfAssigner,
+}
+
+
+def make_assigner(name: str) -> PriorityAssigner:
+    """Factory by name; raises ValueError for unknown assigners."""
+    try:
+        factory = _ASSIGNERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority assigner {name!r}; known: {sorted(_ASSIGNERS)}"
+        ) from None
+    return factory()

@@ -1,0 +1,31 @@
+"""Experiment harness: configs, runner, aggregation, figure regeneration."""
+
+from .config import (
+    ExperimentConfig,
+    FIGURE2_STRATEGIES,
+    KNOWN_STRATEGIES,
+    paper_figure2_config,
+)
+from .figures import Figure1Result, figure1_toy, figure2, figure2_series
+from .results import ComparisonResult, StrategyResult, compare_strategies
+from .runner import RunResult, run_experiment, run_seeds
+from .sweep import SweepResult, sweep
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentConfig",
+    "FIGURE2_STRATEGIES",
+    "Figure1Result",
+    "KNOWN_STRATEGIES",
+    "RunResult",
+    "StrategyResult",
+    "SweepResult",
+    "compare_strategies",
+    "figure1_toy",
+    "figure2",
+    "figure2_series",
+    "paper_figure2_config",
+    "run_experiment",
+    "run_seeds",
+    "sweep",
+]

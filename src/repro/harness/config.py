@@ -1,0 +1,139 @@
+"""Experiment configuration: everything a run needs, in one dataclass.
+
+An :class:`ExperimentConfig` fully determines a simulation run together
+with a seed.  The defaults are the paper's Section 2.2 setup with the task
+count scaled down (see DESIGN.md, substitutions table); the benchmarks can
+restore paper scale via ``REPRO_FULL_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..cluster.topology import ClusterSpec
+from ..workload.soundcloud import (
+    PAPER_LOAD,
+    PAPER_MEAN_FANOUT,
+    SoundCloudWorkload,
+    make_soundcloud_workload,
+    parse_value_size_model,
+)
+
+#: Strategies the runner knows how to build.
+KNOWN_STRATEGIES: _t.Tuple[str, ...] = (
+    # Paper's Figure 2 series.
+    "c3",
+    "equalmax-credits",
+    "equalmax-model",
+    "unifincr-credits",
+    "unifincr-model",
+    # Ablation strategies.
+    "oblivious-random",
+    "oblivious-rr",
+    "oblivious-lor",
+    "c3-norate",
+    "fifo-credits",
+    "sjf-credits",
+    "edf-credits",
+    "fifo-model",
+    "sjf-model",
+    "hedged",
+)
+
+#: The five series the paper's Figure 2 plots, in its legend order.
+FIGURE2_STRATEGIES: _t.Tuple[str, ...] = (
+    "c3",
+    "equalmax-credits",
+    "equalmax-model",
+    "unifincr-credits",
+    "unifincr-model",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully-specified experiment (modulo the seed)."""
+
+    strategy: str = "c3"
+    n_tasks: int = 20_000
+    n_clients: int = 18
+    cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
+    load: float = PAPER_LOAD
+    mean_fanout: float = PAPER_MEAN_FANOUT
+    n_keys: int = 100_000
+    zipf_skew: float = 0.9
+    playlist_fraction: float = 0.25
+    #: "atikoglu" (GP fit of the Facebook ETC pool) or "pareto:<alpha>".
+    value_size_model: str = "atikoglu"
+    service_noise: str = "none"
+    #: Fraction of earliest tasks excluded from statistics (cold start).
+    warmup_fraction: float = 0.05
+    #: Credits realization knobs.
+    credits_epoch: float = 1.0
+    credits_measurement_interval: float = 0.1
+    congestion_check_interval: float = 0.1
+    #: Hedged-requests baseline: duplicate after this many seconds.
+    hedge_delay: float = 2e-3
+    #: Fault injection: degrade one server (-1 disables).
+    slowdown_server: int = -1
+    slowdown_factor: float = 3.0
+    slowdown_start: float = 0.25
+    slowdown_duration: float = 0.5
+    slowdown_period: _t.Optional[float] = None
+    #: Record per-request latencies too (costs memory on big runs).
+    record_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.strategy not in KNOWN_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; known: {KNOWN_STRATEGIES}"
+            )
+        if self.n_tasks <= 0:
+            raise ValueError("n_tasks must be positive")
+        if self.n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        if not (0.0 < self.load):
+            raise ValueError("load must be positive")
+        if not (0.0 <= self.warmup_fraction < 1.0):
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.credits_epoch <= 0 or self.credits_measurement_interval <= 0:
+            raise ValueError("credits intervals must be positive")
+        if self.hedge_delay <= 0:
+            raise ValueError("hedge_delay must be positive")
+        if self.slowdown_server >= self.cluster.n_servers:
+            raise ValueError("slowdown_server out of range")
+
+    # -- derived ---------------------------------------------------------------
+    def workload(self) -> SoundCloudWorkload:
+        """The workload this config implies (shared across strategies)."""
+        return make_soundcloud_workload(
+            n_tasks=self.n_tasks,
+            n_clients=self.n_clients,
+            n_servers=self.cluster.n_servers,
+            cores_per_server=self.cluster.cores_per_server,
+            per_core_rate=self.cluster.per_core_rate,
+            load=self.load,
+            mean_fanout=self.mean_fanout,
+            n_keys=self.n_keys,
+            zipf_skew=self.zipf_skew,
+            playlist_fraction=self.playlist_fraction,
+            value_sizes=parse_value_size_model(self.value_size_model),
+            noise=self.service_noise,
+        )
+
+    def with_strategy(self, strategy: str) -> "ExperimentConfig":
+        """Same experiment, different strategy (workload identical)."""
+        return dataclasses.replace(self, strategy=strategy)
+
+    def describe(self) -> str:
+        return (
+            f"{self.strategy}: {self.n_tasks} tasks, {self.n_clients} clients, "
+            f"{self.cluster.n_servers}x{self.cluster.cores_per_server} cores, "
+            f"load={self.load:.0%}, fanout~{self.mean_fanout}"
+        )
+
+
+def paper_figure2_config(n_tasks: int = 20_000, **overrides: _t.Any) -> ExperimentConfig:
+    """The Figure 2 experiment at a scaled task count."""
+    return ExperimentConfig(n_tasks=n_tasks, **overrides)

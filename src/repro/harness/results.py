@@ -1,0 +1,123 @@
+"""Result aggregation across strategies and seeds.
+
+The paper repeats each experiment 6 times with different seeds and plots
+per-percentile latencies "averaged across experiments".  This module owns
+that aggregation plus the derived quantities the paper's prose reports
+(BRB-vs-C3 speedups, credits-vs-model gap).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+from pathlib import Path
+
+from ..metrics.summary import (
+    LatencySummary,
+    PAPER_PERCENTILES,
+    mean_of_summaries,
+)
+from .runner import RunResult
+
+
+@dataclasses.dataclass
+class StrategyResult:
+    """All seeds of one strategy, plus the seed-averaged summary."""
+
+    strategy: str
+    runs: _t.List[RunResult]
+    percentiles: _t.Tuple[float, ...] = PAPER_PERCENTILES
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ValueError(f"no runs for strategy {self.strategy!r}")
+
+    def per_seed_summaries(self) -> _t.List[LatencySummary]:
+        return [run.summary(self.percentiles) for run in self.runs]
+
+    def mean_summary(self) -> LatencySummary:
+        return mean_of_summaries(self.per_seed_summaries())
+
+    def percentile_spread(self, p: float) -> _t.Tuple[float, float]:
+        """(min, max) of a percentile across seeds -- seed stability check."""
+        values = [s.percentile(p) for s in self.per_seed_summaries()]
+        return min(values), max(values)
+
+
+@dataclasses.dataclass
+class ComparisonResult:
+    """A set of strategies over the same workload/seed grid."""
+
+    strategies: _t.Dict[str, StrategyResult]
+    seeds: _t.Tuple[int, ...]
+
+    def summary_of(self, strategy: str) -> LatencySummary:
+        return self.strategies[strategy].mean_summary()
+
+    def speedup(
+        self, slow: str, fast: str
+    ) -> _t.Dict[float, float]:
+        """Per-percentile latency ratio slow/fast (>1 means `fast` wins)."""
+        return self.summary_of(slow).ratio_to(self.summary_of(fast))
+
+    def gap_to_ideal(
+        self, realized: str, ideal: str
+    ) -> _t.Dict[float, float]:
+        """Per-percentile (realized - ideal) / ideal; the paper's "within
+        38% of an ideal model" metric."""
+        real = self.summary_of(realized)
+        idl = self.summary_of(ideal)
+        return {
+            p: (real.percentile(p) - idl.percentile(p)) / idl.percentile(p)
+            for p in real.percentiles
+            if p in idl.percentiles
+        }
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """JSON-friendly structure (EXPERIMENTS.md provenance blobs)."""
+        out: _t.Dict[str, _t.Any] = {"seeds": list(self.seeds), "strategies": {}}
+        for name, sres in self.strategies.items():
+            mean = sres.mean_summary()
+            out["strategies"][name] = {
+                "count": mean.count,
+                "mean_s": mean.mean,
+                "percentiles_ms": {
+                    f"p{p:g}": v * 1e3 for p, v in sorted(mean.percentiles.items())
+                },
+                "per_seed_p99_ms": [
+                    s.percentile(99.0) * 1e3
+                    for s in sres.per_seed_summaries()
+                    if 99.0 in s.percentiles
+                ],
+            }
+        return out
+
+    def save_json(self, path: _t.Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+
+def compare_strategies(
+    results: _t.Mapping[str, _t.Sequence[RunResult]],
+    percentiles: _t.Tuple[float, ...] = PAPER_PERCENTILES,
+) -> ComparisonResult:
+    """Bundle per-strategy run lists into a :class:`ComparisonResult`."""
+    if not results:
+        raise ValueError("no results to compare")
+    seeds: _t.Optional[_t.Tuple[int, ...]] = None
+    strategies: _t.Dict[str, StrategyResult] = {}
+    for name, runs in results.items():
+        run_list = list(runs)
+        run_seeds = tuple(r.seed for r in run_list)
+        if seeds is None:
+            seeds = run_seeds
+        elif run_seeds != seeds:
+            raise ValueError(
+                f"strategy {name!r} ran seeds {run_seeds}, expected {seeds} "
+                "(paired comparison requires a common seed grid)"
+            )
+        strategies[name] = StrategyResult(
+            strategy=name, runs=run_list, percentiles=percentiles
+        )
+    assert seeds is not None
+    return ComparisonResult(strategies=strategies, seeds=seeds)

@@ -1,0 +1,406 @@
+"""Experiment runner: build a cluster for a strategy, feed it, measure it.
+
+This is the integration point of the whole library: given an
+:class:`~repro.harness.config.ExperimentConfig` and a seed it assembles
+the simulation (workload, placement, network, servers, clients, and the
+strategy-specific machinery -- C3 selectors, credits controller + gates,
+or the ideal global queue), replays the workload and returns a
+:class:`RunResult` with warmup-filtered task latencies and audit counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..baselines.c3 import C3Selector
+from ..baselines.hedging import HedgedStrategy
+from ..baselines.selectors import make_selector
+from ..baselines.strategies import ObliviousStrategy
+from ..cluster.faults import SlowdownInjector
+from ..cluster.client import Client
+from ..cluster.messages import TaskCompletion
+from ..cluster.network import Network
+from ..cluster.server import BackendServer, PullServer
+from ..core.brb_client import BRBCreditsStrategy, BRBModelStrategy
+from ..core.credits import CreditGate, CreditsController, equal_initial_shares
+from ..core.model_queue import GlobalQueue
+from ..core.priorities import make_assigner
+from ..metrics.counters import MetricRegistry
+from ..metrics.reservoir import ExactSample
+from ..metrics.summary import DEFAULT_PERCENTILES, LatencySummary
+from ..scheduling.disciplines import (
+    EdfDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+)
+from ..sim.engine import Environment
+from ..sim.rng import StreamFactory
+from .config import ExperimentConfig
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one (config, seed) simulation run."""
+
+    config: ExperimentConfig
+    seed: int
+    #: Warmup-filtered task latencies (seconds).
+    task_latencies: ExactSample
+    #: Warmup-filtered per-request latencies (only if requested).
+    request_latencies: _t.Optional[ExactSample]
+    #: Per-request queue waits at the servers (only if requested).
+    queue_waits: _t.Optional[ExactSample]
+    #: Per-request service durations (only if requested).
+    service_times: _t.Optional[ExactSample]
+    #: Per-request client-side waits before dispatch: credit gating or C3
+    #: pacing (only if requested).
+    client_waits: _t.Optional[ExactSample]
+    #: Virtual time at which the last task completed.
+    sim_duration: float
+    #: Events the kernel processed (micro-benchmark fodder).
+    events_processed: int
+    #: Tasks measured (after warmup exclusion).
+    tasks_measured: int
+    #: All tasks completed (including warmup).
+    tasks_completed: int
+    #: Requests served by the backend tier.
+    requests_served: int
+    #: Audit counters (congestion signals, grants, gated requests, ...).
+    extras: _t.Dict[str, float]
+
+    def summary(
+        self, percentiles: _t.Sequence[float] = DEFAULT_PERCENTILES
+    ) -> LatencySummary:
+        return LatencySummary.from_recorder(
+            self.config.strategy, self.task_latencies, percentiles
+        )
+
+
+class _CompletionTracker:
+    """Counts completions, applies warmup filtering, fires the done event."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_tasks: int,
+        warmup_tasks: int,
+        record_requests: bool,
+    ) -> None:
+        self.env = env
+        self.n_tasks = n_tasks
+        self.warmup_tasks = warmup_tasks
+        self.task_latencies = ExactSample()
+        self.request_latencies = ExactSample() if record_requests else None
+        self.queue_waits = ExactSample() if record_requests else None
+        self.service_times = ExactSample() if record_requests else None
+        self.client_waits = ExactSample() if record_requests else None
+        self.completed = 0
+        self.measured = 0
+        self.done = env.event()
+
+    def on_complete(self, completion: TaskCompletion) -> None:
+        self.completed += 1
+        if completion.task.task_id >= self.warmup_tasks:
+            self.measured += 1
+            self.task_latencies.record(completion.latency)
+        if self.completed == self.n_tasks:
+            self.done.succeed(self.env.now)
+
+    def record(self, value: float) -> None:
+        """Request-latency recorder interface (warmup not task-scoped)."""
+        if self.request_latencies is not None:
+            self.request_latencies.record(value)
+
+    def observe_request(self, request: _t.Any) -> None:
+        """Latency-anatomy hook: split the trail into queue wait + service.
+
+        Model-realization requests have no meaningful enqueue-to-start
+        separation from the client's perspective, but the timestamps are
+        filled identically, so the decomposition is uniform.
+        """
+        if self.queue_waits is None:
+            return
+        if request.service_start_at >= 0 and request.enqueued_at >= 0:
+            self.queue_waits.record(request.queue_wait)
+        if request.completed_at >= 0 and request.service_start_at >= 0:
+            self.service_times.record(request.service_time)
+        if request.dispatched_at >= 0 and request.created_at >= 0:
+            self.client_waits.record(request.dispatched_at - request.created_at)
+
+
+def _build_clients(
+    config: ExperimentConfig,
+    env: Environment,
+    network: Network,
+    placement: _t.Any,
+    service_model: _t.Any,
+    streams: StreamFactory,
+    tracker: _CompletionTracker,
+    metrics: MetricRegistry,
+) -> _t.Tuple[_t.List[Client], _t.Dict[str, _t.Any]]:
+    """Create per-client strategies plus any shared machinery."""
+    strategy_name = config.strategy
+    shared: _t.Dict[str, _t.Any] = {}
+    clients: _t.List[Client] = []
+
+    needs_credits = strategy_name.endswith("-credits")
+    needs_model = strategy_name.endswith("-model")
+
+    if needs_model:
+        shared["global_queue"] = GlobalQueue(
+            env,
+            latency=config.cluster.make_latency_model(),
+            stream=streams.stream("model.submit-latency"),
+        )
+    if needs_credits:
+        shared["controller"] = CreditsController(
+            env,
+            network,
+            n_clients=config.n_clients,
+            server_capacities=config.cluster.server_capacities(),
+            epoch=config.credits_epoch,
+            allocation_interval=config.credits_measurement_interval,
+            metrics=metrics,
+        )
+        shared["gates"] = []
+
+    for client_id in range(config.n_clients):
+        if strategy_name == "c3" or strategy_name == "c3-norate":
+            selector = C3Selector(
+                env,
+                concurrency_weight=config.n_clients,
+                stream=streams.stream(f"c3.tiebreak.{client_id}"),
+                rate_control=(strategy_name == "c3"),
+                # Start at the per-client fair share of one server so the
+                # cubic controller explores around the right operating point.
+                initial_rate=config.cluster.server_capacity() / config.n_clients,
+            )
+            strategy: _t.Any = ObliviousStrategy(placement, selector, service_model)
+        elif strategy_name == "hedged":
+            selector = make_selector(
+                "least-outstanding", stream=streams.stream(f"selector.{client_id}")
+            )
+            strategy = HedgedStrategy(
+                placement,
+                selector,
+                service_model,
+                hedge_delay=config.hedge_delay,
+            )
+        elif strategy_name.startswith("oblivious-"):
+            kind = {
+                "oblivious-random": "random",
+                "oblivious-rr": "round-robin",
+                "oblivious-lor": "least-outstanding",
+            }[strategy_name]
+            selector = make_selector(
+                kind, stream=streams.stream(f"selector.{client_id}")
+            )
+            strategy = ObliviousStrategy(placement, selector, service_model)
+        elif needs_credits:
+            assigner = make_assigner(strategy_name.split("-")[0])
+            gate = CreditGate(
+                env,
+                network,
+                client_id=client_id,
+                server_ids=list(range(config.cluster.n_servers)),
+                epoch=config.credits_epoch,
+                measurement_interval=config.credits_measurement_interval,
+                initial_share=equal_initial_shares(
+                    config.cluster.server_capacities(),
+                    config.n_clients,
+                    config.credits_measurement_interval,
+                ),
+            )
+            shared["gates"].append(gate)
+            strategy = BRBCreditsStrategy(
+                placement, assigner, service_model, gate=gate
+            )
+        elif needs_model:
+            assigner = make_assigner(strategy_name.split("-")[0])
+            strategy = BRBModelStrategy(
+                placement, assigner, service_model, global_queue=shared["global_queue"]
+            )
+        else:  # pragma: no cover - config validates strategy names
+            raise ValueError(f"cannot build strategy {strategy_name!r}")
+
+        clients.append(
+            Client(
+                env,
+                client_id=client_id,
+                network=network,
+                strategy=strategy,
+                request_recorder=tracker if config.record_requests else None,
+                metrics=metrics,
+                on_complete=tracker.on_complete,
+                request_observer=(
+                    tracker.observe_request if config.record_requests else None
+                ),
+            )
+        )
+    return clients, shared
+
+
+def _build_servers(
+    config: ExperimentConfig,
+    env: Environment,
+    network: Network,
+    placement: _t.Any,
+    service_model: _t.Any,
+    streams: StreamFactory,
+    shared: _t.Dict[str, _t.Any],
+    metrics: MetricRegistry,
+) -> _t.List[_t.Any]:
+    strategy_name = config.strategy
+    servers: _t.List[_t.Any] = []
+    if strategy_name.endswith("-model"):
+        for server_id in range(config.cluster.n_servers):
+            servers.append(
+                PullServer(
+                    env,
+                    server_id=server_id,
+                    cores=config.cluster.cores_per_server,
+                    service_model=service_model,
+                    network=network,
+                    service_stream=streams.stream(f"service.{server_id}"),
+                    global_queue=shared["global_queue"].store,
+                    partitions=placement.partitions_of_server(server_id),
+                    metrics=metrics,
+                )
+            )
+        return servers
+
+    needs_credits = strategy_name.endswith("-credits")
+    for server_id in range(config.cluster.n_servers):
+        if needs_credits:
+            if strategy_name.startswith("edf"):
+                discipline: _t.Any = EdfDiscipline()
+            else:
+                discipline = PriorityDiscipline()
+        else:
+            discipline = FifoDiscipline()
+        servers.append(
+            BackendServer(
+                env,
+                server_id=server_id,
+                cores=config.cluster.cores_per_server,
+                service_model=service_model,
+                network=network,
+                service_stream=streams.stream(f"service.{server_id}"),
+                discipline=discipline,
+                metrics=metrics,
+                congestion_interval=(
+                    config.congestion_check_interval if needs_credits else None
+                ),
+            )
+        )
+    return servers
+
+
+def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
+    """Simulate one (config, seed) pair end to end."""
+    streams = StreamFactory(seed)
+    env = Environment()
+    metrics = MetricRegistry()
+    workload = config.workload()
+    placement = config.cluster.make_placement()
+    placement.validate()
+    network = Network(
+        env,
+        latency=config.cluster.make_latency_model(),
+        stream=streams.stream("network.latency"),
+        metrics=metrics,
+    )
+    service_model = workload.service_model
+    warmup_tasks = int(config.warmup_fraction * config.n_tasks)
+    tracker = _CompletionTracker(
+        env, config.n_tasks, warmup_tasks, config.record_requests
+    )
+
+    clients, shared = _build_clients(
+        config, env, network, placement, service_model, streams, tracker, metrics
+    )
+    servers = _build_servers(
+        config, env, network, placement, service_model, streams, shared, metrics
+    )
+    injector = None
+    if config.slowdown_server >= 0:
+        injector = SlowdownInjector(
+            env,
+            servers[config.slowdown_server],
+            factor=config.slowdown_factor,
+            start=config.slowdown_start,
+            duration=config.slowdown_duration,
+            period=config.slowdown_period,
+        )
+
+    generator = workload.generator(streams)
+
+    def feeder() -> _t.Generator:
+        for _ in range(config.n_tasks):
+            task = generator.next_task()
+            delay = task.arrival_time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            clients[task.client_id].submit(task)
+
+    env.process(feeder(), name="workload-feeder")
+    end_time = env.run(until=tracker.done)
+
+    # -- audit: conservation laws -------------------------------------------
+    total_completed = sum(c.tasks_completed for c in clients)
+    if total_completed != config.n_tasks:
+        raise RuntimeError(
+            f"lost tasks: {total_completed} completed of {config.n_tasks}"
+        )
+    requests_served = sum(s.completed for s in servers)
+    # Hedging may leave duplicate copies in flight when the last task
+    # completes; every *non-hedged* strategy must conserve exactly (checked
+    # against the generated op count by the integration tests).
+
+    extras: _t.Dict[str, float] = {
+        "mean_server_utilization": sum(s.utilization for s in servers) / len(servers),
+    }
+    if "controller" in shared:
+        controller: CreditsController = shared["controller"]
+        extras["congestion_signals"] = float(controller.congestion_signals)
+        extras["credit_grants"] = float(controller.grants_sent)
+        extras["gated_requests"] = float(
+            sum(g.gated for g in shared.get("gates", []))
+        )
+    if "global_queue" in shared:
+        extras["global_queue_submitted"] = float(shared["global_queue"].submitted)
+    if injector is not None:
+        extras["slowdown_windows"] = float(injector.windows_injected)
+    if config.strategy == "hedged":
+        extras["hedges_sent"] = float(
+            sum(c.strategy.hedges_sent for c in clients)
+        )
+        extras["wasted_responses"] = float(
+            sum(c.strategy.wasted_responses for c in clients)
+        )
+
+    return RunResult(
+        config=config,
+        seed=seed,
+        task_latencies=tracker.task_latencies,
+        request_latencies=tracker.request_latencies,
+        queue_waits=tracker.queue_waits,
+        service_times=tracker.service_times,
+        client_waits=tracker.client_waits,
+        sim_duration=float(_t.cast(float, end_time)),
+        events_processed=env.events_processed,
+        tasks_measured=tracker.measured,
+        tasks_completed=tracker.completed,
+        requests_served=requests_served,
+        extras=extras,
+    )
+
+
+def run_seeds(
+    config: ExperimentConfig, seeds: _t.Sequence[int]
+) -> _t.List[RunResult]:
+    """Run the same experiment under several seeds (paper: 6 repetitions)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [run_experiment(config, seed) for seed in seeds]

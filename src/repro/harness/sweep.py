@@ -1,0 +1,137 @@
+"""Generic parameter sweeps: one axis, many strategies, common seeds.
+
+The ablation benches all share one shape -- vary a single knob, run a set
+of strategies per point on a common seed grid, tabulate percentiles and
+ratios.  This module packages that shape for downstream users.
+
+Example::
+
+    from repro.harness import ExperimentConfig
+    from repro.harness.sweep import sweep
+
+    result = sweep(
+        ExperimentConfig(n_tasks=5000),
+        parameter="load",
+        values=[0.5, 0.7, 0.9],
+        strategies=("c3", "unifincr-credits"),
+        seeds=(1, 2),
+    )
+    print(result.render(percentile=99.0))
+
+Dotted parameter paths reach into the nested cluster spec:
+``parameter="cluster.one_way_latency"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..analysis.tables import render_table
+from ..metrics.summary import PAPER_PERCENTILES
+from .config import ExperimentConfig
+from .results import ComparisonResult, compare_strategies
+from .runner import run_seeds
+
+
+def _replace_parameter(
+    config: ExperimentConfig, parameter: str, value: _t.Any
+) -> ExperimentConfig:
+    """Return a config copy with ``parameter`` (possibly dotted) set."""
+    if "." not in parameter:
+        if not hasattr(config, parameter):
+            raise ValueError(f"unknown config field {parameter!r}")
+        return dataclasses.replace(config, **{parameter: value})
+    head, rest = parameter.split(".", 1)
+    if head != "cluster" or "." in rest:
+        raise ValueError(f"unsupported parameter path {parameter!r}")
+    if not hasattr(config.cluster, rest):
+        raise ValueError(f"unknown cluster field {rest!r}")
+    new_cluster = dataclasses.replace(config.cluster, **{rest: value})
+    return dataclasses.replace(config, cluster=new_cluster)
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Comparisons indexed by the swept parameter's values."""
+
+    parameter: str
+    values: _t.Tuple[_t.Any, ...]
+    strategies: _t.Tuple[str, ...]
+    comparisons: _t.Dict[_t.Any, ComparisonResult]
+
+    def percentile_series(
+        self, strategy: str, percentile: float
+    ) -> _t.List[_t.Tuple[_t.Any, float]]:
+        """(value, latency-seconds) pairs for one strategy/percentile."""
+        return [
+            (v, self.comparisons[v].summary_of(strategy).percentile(percentile))
+            for v in self.values
+        ]
+
+    def speedup_series(
+        self, slow: str, fast: str, percentile: float
+    ) -> _t.List[_t.Tuple[_t.Any, float]]:
+        """(value, slow/fast ratio) pairs along the sweep."""
+        return [
+            (v, self.comparisons[v].speedup(slow, fast)[percentile])
+            for v in self.values
+        ]
+
+    def rows(self, percentile: float = 99.0) -> _t.List[_t.Dict[str, _t.Any]]:
+        """Flat table rows: one per swept value, strategies as columns."""
+        out: _t.List[_t.Dict[str, _t.Any]] = []
+        for v in self.values:
+            row: _t.Dict[str, _t.Any] = {self.parameter: v}
+            for name in self.strategies:
+                row[f"{name} p{percentile:g} (ms)"] = (
+                    self.comparisons[v].summary_of(name).percentile(percentile) * 1e3
+                )
+            out.append(row)
+        return out
+
+    def render(self, percentile: float = 99.0) -> str:
+        return render_table(
+            self.rows(percentile),
+            title=f"sweep over {self.parameter} (p{percentile:g})",
+        )
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "points": {
+                str(v): self.comparisons[v].to_dict() for v in self.values
+            },
+        }
+
+
+def sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: _t.Sequence[_t.Any],
+    strategies: _t.Sequence[str],
+    seeds: _t.Sequence[int] = (1,),
+    percentiles: _t.Tuple[float, ...] = PAPER_PERCENTILES,
+) -> SweepResult:
+    """Run the full (value x strategy x seed) grid."""
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    if not strategies:
+        raise ValueError("sweep needs at least one strategy")
+    comparisons: _t.Dict[_t.Any, ComparisonResult] = {}
+    for value in values:
+        config = _replace_parameter(base, parameter, value)
+        comparisons[value] = compare_strategies(
+            {
+                name: run_seeds(config.with_strategy(name), seeds)
+                for name in strategies
+            },
+            percentiles=percentiles,
+        )
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(values),
+        strategies=tuple(strategies),
+        comparisons=comparisons,
+    )

@@ -1,0 +1,29 @@
+"""Metrics: histograms, samples, summaries, time series, counters."""
+
+from .counters import Counter, Gauge, MetricRegistry
+from .histogram import LogHistogram
+from .reservoir import ExactSample, Reservoir, exact_quantile
+from .summary import (
+    DEFAULT_PERCENTILES,
+    LatencySummary,
+    PAPER_PERCENTILES,
+    mean_of_summaries,
+)
+from .timeseries import EwmaEstimator, TimeSeries, WindowedRate
+
+__all__ = [
+    "Counter",
+    "DEFAULT_PERCENTILES",
+    "EwmaEstimator",
+    "ExactSample",
+    "Gauge",
+    "LatencySummary",
+    "LogHistogram",
+    "MetricRegistry",
+    "PAPER_PERCENTILES",
+    "Reservoir",
+    "TimeSeries",
+    "WindowedRate",
+    "exact_quantile",
+    "mean_of_summaries",
+]

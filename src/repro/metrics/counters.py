@@ -1,0 +1,97 @@
+"""Named counters and gauges for simulation bookkeeping.
+
+A :class:`MetricRegistry` is threaded through the cluster components so the
+integration tests can assert conservation laws ("requests sent == requests
+completed", "credits granted <= capacity") without reaching into component
+internals.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class Counter:
+    """A monotonically non-decreasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named value that can move both ways, tracking its running max."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value}, max={self.max_value})"
+
+
+class MetricRegistry:
+    """Flat namespace of counters and gauges, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: _t.Dict[str, Counter] = {}
+        self._gauges: _t.Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
+
+    def counters(self) -> _t.Dict[str, int]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> _t.Dict[str, float]:
+        """Snapshot of all gauge values."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def snapshot(self) -> _t.Dict[str, float]:
+        """Merged snapshot of everything (counters first)."""
+        merged: _t.Dict[str, float] = {}
+        merged.update(self.counters())
+        merged.update(self.gauges())
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)}>"
+        )

@@ -1,0 +1,142 @@
+"""Time-series recorders: sampled gauges and windowed rates.
+
+Used by the credits controller (demand per epoch), server instrumentation
+(queue depth over time) and the ablation benches (load vs. latency curves).
+All timestamps are virtual time from the simulation clock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+
+class TimeSeries:
+    """Append-only (time, value) series with window queries."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: _t.List[float] = []
+        self._values: _t.List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self._times[-1]} in {self.name!r}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> _t.List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> _t.List[float]:
+        return list(self._values)
+
+    def window(self, start: float, end: float) -> _t.List[_t.Tuple[float, float]]:
+        """Observations with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def mean_over(self, start: float, end: float) -> float:
+        """Arithmetic mean of observations in the window."""
+        pts = self.window(start, end)
+        if not pts:
+            raise ValueError(f"no observations in [{start}, {end})")
+        return sum(v for _, v in pts) / len(pts)
+
+    def last(self) -> _t.Tuple[float, float]:
+        if not self._times:
+            raise ValueError("empty time series")
+        return self._times[-1], self._values[-1]
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name!r} n={len(self._times)}>"
+
+
+class WindowedRate:
+    """Counts events and reports the rate over the trailing window.
+
+    The C3 rate-control loop and the credits controller's demand estimator
+    both need "events per second over the last T" with cheap updates.
+    Events older than ``window`` are evicted lazily on query.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._events: _t.List[_t.Tuple[float, float]] = []  # (time, weight)
+        self._weight_sum = 0.0
+
+    def record(self, time: float, weight: float = 1.0) -> None:
+        if self._events and time < self._events[-1][0]:
+            raise ValueError("time went backwards")
+        self._events.append((time, weight))
+        self._weight_sum += weight
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        drop = 0
+        for t, w in self._events:
+            if t >= cutoff:
+                break
+            self._weight_sum -= w
+            drop += 1
+        if drop:
+            del self._events[:drop]
+
+    def rate(self, now: float) -> float:
+        """Weighted events per unit time over ``[now - window, now]``."""
+        self._evict(now)
+        return self._weight_sum / self.window
+
+    def count(self, now: float) -> float:
+        """Total weight inside the current window."""
+        self._evict(now)
+        return self._weight_sum
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average with irregular samples.
+
+    The decay is applied per unit of elapsed virtual time (so the estimator
+    has a well-defined time constant regardless of sampling cadence).  C3
+    uses EWMAs of observed service times and queue sizes from piggybacked
+    server feedback.
+    """
+
+    def __init__(self, time_constant: float, initial: float = 0.0) -> None:
+        if time_constant <= 0:
+            raise ValueError("time_constant must be positive")
+        self.time_constant = time_constant
+        self._value = float(initial)
+        self._last_time: _t.Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, time: float, sample: float) -> float:
+        """Fold in ``sample`` observed at ``time``; returns the new value."""
+        if self._last_time is None:
+            self._value = float(sample)
+        else:
+            dt = time - self._last_time
+            if dt < 0:
+                raise ValueError("time went backwards")
+            import math
+
+            alpha = 1.0 - math.exp(-dt / self.time_constant)
+            self._value += alpha * (sample - self._value)
+        self._last_time = time
+        return self._value

@@ -1,0 +1,19 @@
+"""Server-side queue disciplines (FIFO, SJF, EDF, priority)."""
+
+from .disciplines import (
+    Discipline,
+    EdfDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+    SjfDiscipline,
+    make_discipline,
+)
+
+__all__ = [
+    "Discipline",
+    "EdfDiscipline",
+    "FifoDiscipline",
+    "PriorityDiscipline",
+    "SjfDiscipline",
+    "make_discipline",
+]

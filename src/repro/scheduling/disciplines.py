@@ -1,0 +1,91 @@
+"""Server-side queue disciplines.
+
+A discipline maps a :class:`~repro.cluster.messages.RequestMessage` to a
+sort key; the server's priority store serves smaller keys first and breaks
+ties FIFO (arrival order).  The discipline is the only thing that differs
+between a task-oblivious server (FIFO) and a BRB server (PRIORITY fed by
+client-assigned EqualMax/UnifIncr priorities).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+from itertools import count
+
+from ..cluster.messages import RequestMessage
+
+
+class Discipline:
+    """Interface: ``key(request, now) -> orderable`` (smaller first)."""
+
+    name: str = "abstract"
+
+    def key(self, request: RequestMessage, now: float) -> _t.Tuple[float, ...]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class FifoDiscipline(Discipline):
+    """First-come first-served: key is the enqueue sequence number."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._seq = count()
+
+    def key(self, request: RequestMessage, now: float) -> _t.Tuple[float, ...]:
+        return (float(next(self._seq)),)
+
+
+class SjfDiscipline(Discipline):
+    """Shortest-Job-First on the *individual* request's forecast cost.
+
+    Task-oblivious size-aware scheduling -- the natural straw-man between
+    FIFO and BRB: it knows request sizes but not task structure.
+    """
+
+    name = "sjf"
+
+    def key(self, request: RequestMessage, now: float) -> _t.Tuple[float, ...]:
+        return (request.expected_service,)
+
+
+class EdfDiscipline(Discipline):
+    """Earliest-Deadline-First using the task's bottleneck as the deadline.
+
+    The deadline of a request is ``created_at + bottleneck_cost``: the
+    earliest time its task could possibly complete.  An alternative
+    task-aware discipline used in the ablations.
+    """
+
+    name = "edf"
+
+    def key(self, request: RequestMessage, now: float) -> _t.Tuple[float, ...]:
+        return (request.created_at + request.bottleneck_cost,)
+
+
+class PriorityDiscipline(Discipline):
+    """Serve by the client-assigned priority tuple (BRB's discipline)."""
+
+    name = "priority"
+
+    def key(self, request: RequestMessage, now: float) -> _t.Tuple[float, ...]:
+        return tuple(request.priority)
+
+
+_DISCIPLINES: _t.Dict[str, _t.Callable[[], Discipline]] = {
+    "fifo": FifoDiscipline,
+    "sjf": SjfDiscipline,
+    "edf": EdfDiscipline,
+    "priority": PriorityDiscipline,
+}
+
+
+def make_discipline(name: str) -> Discipline:
+    """Factory by name; raises ValueError on unknown disciplines."""
+    try:
+        factory = _DISCIPLINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown discipline {name!r}; known: {sorted(_DISCIPLINES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,82 @@
+"""Discrete-event simulation kernel (virtual time, processes, resources).
+
+A small, dependency-free kernel in the style of SimPy: generator-based
+processes yield :class:`~repro.sim.events.Event` objects and are resumed
+when those events fire.  All timing in the reproduction is virtual time
+kept by :class:`~repro.sim.engine.Environment`, which sidesteps GIL and OS
+scheduler noise entirely.
+
+Quick example::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def worker(env, name):
+        yield env.timeout(1.0)
+        return name
+
+    proc = env.process(worker(env, "a"))
+    env.run()
+    assert env.now == 1.0 and proc.value == "a"
+"""
+
+from .engine import EmptySchedule, Environment, Infinity, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    NORMAL,
+    PENDING,
+    SimulationError,
+    Timeout,
+    URGENT,
+)
+from .process import Process, ProcessGenerator
+from .resources import (
+    FilterStore,
+    Get,
+    PriorityFilterStore,
+    PriorityItem,
+    PriorityStore,
+    Put,
+    Request,
+    Resource,
+    Store,
+)
+from .rng import Stream, StreamFactory, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Get",
+    "Infinity",
+    "Interrupt",
+    "NORMAL",
+    "PENDING",
+    "PriorityFilterStore",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "ProcessGenerator",
+    "Put",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Stream",
+    "StreamFactory",
+    "Timeout",
+    "URGENT",
+    "derive_seed",
+]

@@ -1,0 +1,168 @@
+"""The discrete-event simulation environment (virtual clock + calendar).
+
+:class:`Environment` owns the event calendar -- a binary heap of
+``(time, priority, sequence, event)`` tuples -- and the virtual clock.  All
+latency numbers produced by this repository are differences of this virtual
+clock, which makes them deterministic and immune to GIL scheduling noise
+(the concern flagged by the reproduction notes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    PENDING,
+    SimulationError,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+
+Infinity: float = float("inf")
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when the calendar is empty."""
+
+
+class StopSimulation(Exception):
+    """Signals :meth:`Environment.run` to return (event-triggered stop)."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event.ok:
+            raise cls(event.value)
+        # Propagate failures of the until-event.
+        raise _t.cast(BaseException, event.value)
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Virtual time at which the clock starts (seconds by convention
+        throughout this repository).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: _t.List[_t.Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: _t.Optional[Process] = None
+        #: Total number of events processed so far (for micro-benchmarks).
+        self.events_processed = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> _t.Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` units of virtual time later."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: _t.Optional[str] = None
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """Event that triggers once all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """Event that triggers once any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Put a triggered event on the calendar ``delay`` from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if the calendar is empty)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next event on the calendar, advancing the clock."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+
+        if not event._ok and not event._defused:
+            # Nobody handled this failure: crash the simulation loudly.
+            exc = _t.cast(BaseException, event._value)
+            raise exc
+
+    def run(self, until: _t.Union[None, float, Event] = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until the calendar is exhausted;
+        * a number -- run until virtual time reaches that value;
+        * an :class:`Event` -- run until the event is processed, returning
+          its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until={at} must lie in the future (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, delay=at - self._now, priority=NORMAL)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until.value  # already processed
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0] if exc.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and until._value is not PENDING:
+                return until.value
+            if isinstance(until, Event):
+                raise SimulationError(
+                    "calendar ran dry before the until-event triggered"
+                ) from None
+            return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now!r} pending={len(self._queue)}>"

@@ -1,0 +1,174 @@
+"""Generator-based processes for the simulation kernel.
+
+A *process* wraps a Python generator that yields events.  When a yielded
+event is processed, the generator is resumed with the event's value (or the
+event's exception is thrown into it).  A process is itself an event that
+triggers when the generator returns, which lets processes wait for each
+other (fork/join) and compose with :class:`~repro.sim.events.Condition`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .events import Event, Interrupt, NORMAL, PENDING, SimulationError, URGENT
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+ProcessGenerator = _t.Generator[Event, object, object]
+
+
+class Initialize(Event):
+    """Internal event that kicks a freshly created process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.process = process
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal urgent event that delivers an :class:`Interrupt`."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: object) -> None:
+        super().__init__(process.env)
+        if process._value is not PENDING:
+            raise SimulationError(f"{process!r} has terminated and cannot be interrupted")
+        if process is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [self._interrupt]
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self.process
+        if process._value is not PENDING:
+            return  # terminated in the meantime; interrupt is moot
+        # Unsubscribe the process from whatever it is waiting on, then
+        # deliver the interrupt immediately.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._resume(event)
+
+
+class Process(Event):
+    """Drives a generator, suspending it on every yielded event."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: _t.Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits for (None when running).
+        self._target: _t.Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self) -> _t.Optional[Event]:
+        """The event the process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw an :class:`Interrupt` into the process as soon as possible."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of ``event``."""
+        env = self.env
+        env._active_proc = self
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw the exception into the process.
+                    event.defuse()
+                    exc = _t.cast(BaseException, event._value)
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as exc:
+                # Generator finished: the process event succeeds.
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                # Uncaught exception: the process event fails.
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                proc_error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                event = _FailedNow(env, proc_error)
+                continue
+            if next_event.env is not env:
+                proc_error = RuntimeError(
+                    f"process {self.name!r} yielded an event from a foreign environment"
+                )
+                event = _FailedNow(env, proc_error)
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: loop immediately with its value.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "terminated"
+        return f"<Process {self.name!r} {state}>"
+
+
+class _FailedNow(Event):
+    """An already-failed, already-processed pseudo-event.
+
+    Used internally to feed an error back into a generator without going
+    through the calendar.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", exc: BaseException) -> None:
+        super().__init__(env)
+        self._ok = False
+        self._value = exc
+        self._defused = True
+        self.callbacks = None  # behave as already processed

@@ -1,0 +1,346 @@
+"""Shared resources for processes: resources, stores and priority stores.
+
+These follow the put/get event protocol: a ``put()``/``get()``/``request()``
+call returns an event that a process yields; the event triggers once the
+operation could be carried out.  The matching loop between queued puts and
+gets runs eagerly whenever either side changes.
+
+The BRB *model* realization (ideal global queue with work-pulling servers)
+is built directly on :class:`PriorityFilterStore`: server cores ``get`` the
+smallest-priority item that satisfies a predicate ("a request for a
+partition this server replicates").
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+from itertools import count
+
+from .events import Event, LOW
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+# ---------------------------------------------------------------------------
+# Base put/get machinery
+# ---------------------------------------------------------------------------
+
+
+class Put(Event):
+    """Event returned by ``put()`` calls; triggers when the item is stored."""
+
+    __slots__ = ("resource", "item")
+
+    def __init__(self, resource: "BaseStore", item: object) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.item = item
+        resource.put_queue.append(self)
+        resource._schedule_trigger()
+
+    def cancel(self) -> None:
+        """Withdraw the pending put (no-op once triggered)."""
+        if not self.triggered and self in self.resource.put_queue:
+            self.resource.put_queue.remove(self)
+
+
+class Get(Event):
+    """Event returned by ``get()`` calls; triggers with the retrieved item."""
+
+    __slots__ = ("resource", "filter")
+
+    def __init__(
+        self,
+        resource: "BaseStore",
+        filter: _t.Optional[_t.Callable[[object], bool]] = None,
+    ) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.filter = filter
+        resource.get_queue.append(self)
+        resource._schedule_trigger()
+
+    def cancel(self) -> None:
+        """Withdraw the pending get (no-op once triggered)."""
+        if not self.triggered and self in self.resource.get_queue:
+            self.resource.get_queue.remove(self)
+
+
+class BaseStore:
+    """Common machinery for stores: queues of blocked puts/gets + matching."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.put_queue: _t.List[Put] = []
+        self.get_queue: _t.List[Get] = []
+        self._trigger_pending = False
+
+    # Subclasses implement _do_put/_do_get returning True when satisfied.
+    def _do_put(self, event: Put) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _do_get(self, event: Get) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _schedule_trigger(self) -> None:
+        """Defer matching to the end of the current timestamp.
+
+        All puts and gets issued at one instant are collected before any
+        matching happens (the flush runs at LOW priority after every NORMAL
+        event with the same timestamp).  For priority stores this is what
+        makes priorities meaningful when consumers are idle: a batch of
+        same-instant arrivals is ordered *before* a waiting consumer grabs
+        the first one.  This mirrors how a real server drains a kernel
+        socket buffer: everything that arrived is visible before the next
+        scheduling decision.
+        """
+        if self._trigger_pending:
+            return
+        self._trigger_pending = True
+        flush = Event(self.env)
+        flush._ok = True
+        flush._value = None
+        flush.callbacks = [self._flush]
+        self.env.schedule(flush, delay=0.0, priority=LOW)
+
+    def _flush(self, _event: Event) -> None:
+        self._trigger_pending = False
+        self._trigger(None)
+
+    def _trigger(self, _event: _t.Optional[Event]) -> None:
+        """Run the matching loop until no more progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            idx = 0
+            while idx < len(self.put_queue):
+                put_ev = self.put_queue[idx]
+                if self._do_put(put_ev):
+                    self.put_queue.pop(idx)
+                    progress = True
+                else:
+                    idx += 1
+            idx = 0
+            while idx < len(self.get_queue):
+                get_ev = self.get_queue[idx]
+                if self._do_get(get_ev):
+                    self.get_queue.pop(idx)
+                    progress = True
+                else:
+                    idx += 1
+
+    def put(self, item: object) -> Put:
+        """Request to store ``item``; returns the event to yield on."""
+        return Put(self, item)
+
+    def get(self) -> Get:
+        """Request to retrieve an item; returns the event to yield on."""
+        return Get(self)
+
+
+# ---------------------------------------------------------------------------
+# Concrete stores
+# ---------------------------------------------------------------------------
+
+
+class Store(BaseStore):
+    """FIFO store of arbitrary items with optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: _t.List[object] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _do_put(self, event: Put) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: Get) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+
+class FilterStore(Store):
+    """Store whose gets may carry a predicate selecting acceptable items."""
+
+    def get(
+        self, filter: _t.Optional[_t.Callable[[object], bool]] = None
+    ) -> Get:
+        return Get(self, filter=filter)
+
+    def _do_get(self, event: Get) -> bool:
+        for idx, item in enumerate(self.items):
+            if event.filter is None or event.filter(item):
+                self.items.pop(idx)
+                event.succeed(item)
+                return True
+        return False
+
+
+class PriorityItem:
+    """Wrapper pairing an arbitrary (unorderable) item with a priority key.
+
+    Lower keys are retrieved first.  A monotonically increasing sequence
+    number breaks ties FIFO, which the scheduling disciplines rely on.
+    """
+
+    __slots__ = ("key", "seq", "item")
+    _seq = count()
+
+    def __init__(self, key: _t.Any, item: object) -> None:
+        self.key = key
+        self.seq = next(PriorityItem._seq)
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return (self.key, self.seq) < (other.key, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PriorityItem(key={self.key!r}, item={self.item!r})"
+
+
+class PriorityStore(BaseStore):
+    """Store retrieving the smallest item first (heap-ordered).
+
+    Items should be :class:`PriorityItem` instances (or anything orderable).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: _t.List[_t.Any] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _do_put(self, event: Put) -> bool:
+        if len(self.items) < self.capacity:
+            heapq.heappush(self.items, event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: Get) -> bool:
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            return True
+        return False
+
+
+class PriorityFilterStore(PriorityStore):
+    """Priority store whose gets may filter items.
+
+    ``get(filter)`` returns the *smallest* item satisfying the predicate.
+    This backs the paper's ideal "model" realization: a single global
+    priority queue from which each free server core pulls the
+    highest-priority request it is able to serve.
+
+    The filtered retrieval is O(n log n) in the worst case; the model
+    realization only ever holds the backlog in it, which stays modest at the
+    simulated loads.
+    """
+
+    def get(
+        self, filter: _t.Optional[_t.Callable[[object], bool]] = None
+    ) -> Get:
+        return Get(self, filter=filter)
+
+    def _do_get(self, event: Get) -> bool:
+        if event.filter is None:
+            return super()._do_get(event)
+        skipped: _t.List[_t.Any] = []
+        found = None
+        while self.items:
+            item = heapq.heappop(self.items)
+            if event.filter(item):
+                found = item
+                break
+            skipped.append(item)
+        for item in skipped:
+            heapq.heappush(self.items, item)
+        if found is None:
+            return False
+        event.succeed(found)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Counted resource (server cores, controller slots, ...)
+# ---------------------------------------------------------------------------
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource", "usage_since")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: _t.Optional[float] = None
+        resource.queue.append(self)
+        resource._trigger()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        if not self.triggered and self in self.resource.queue:
+            self.resource.queue.remove(self)
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.queue: _t.List[Request] = []
+        self.users: _t.List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Queue for a slot; the returned event triggers once granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted slot (idempotent)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._trigger()
+        else:
+            request.cancel()
+
+    def _trigger(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            req = self.queue.pop(0)
+            req.usage_since = self.env.now
+            self.users.append(req)
+            req.succeed()

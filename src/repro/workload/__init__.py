@@ -1,0 +1,97 @@
+"""Workload models: fan-outs, value sizes, popularity, arrivals, traces."""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    arrival_times,
+)
+from .calibration import (
+    ServiceTimeModel,
+    calibrate_service_model,
+    empirical_service_rate,
+    system_capacity,
+    task_arrival_rate_for_load,
+)
+from .fanout import (
+    FanoutDistribution,
+    FixedFanout,
+    GeometricFanout,
+    LogNormalFanout,
+    MixtureFanout,
+    UniformFanout,
+    calibrated_lognormal,
+    empirical_mean,
+)
+from .popularity import (
+    HotColdPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+)
+from .soundcloud import (
+    PAPER_LOAD,
+    PAPER_MEAN_FANOUT,
+    PAPER_N_TASKS,
+    PAPER_SERVICE_RATE,
+    SoundCloudWorkload,
+    make_soundcloud_workload,
+    soundcloud_fanout,
+)
+from .tasks import Operation, Task, TaskGenerator, ValueSizeRegistry, trace_stats
+from .trace import TraceFormatError, load_trace, save_trace
+from .valuesize import (
+    BoundedParetoValueSize,
+    FixedValueSize,
+    GeneralizedParetoValueSize,
+    UniformValueSize,
+    ValueSizeDistribution,
+    atikoglu_etc,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BoundedParetoValueSize",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "FanoutDistribution",
+    "FixedFanout",
+    "FixedValueSize",
+    "GeneralizedParetoValueSize",
+    "GeometricFanout",
+    "HotColdPopularity",
+    "LogNormalFanout",
+    "MixtureFanout",
+    "Operation",
+    "PAPER_LOAD",
+    "PAPER_MEAN_FANOUT",
+    "PAPER_N_TASKS",
+    "PAPER_SERVICE_RATE",
+    "PoissonArrivals",
+    "PopularityModel",
+    "ServiceTimeModel",
+    "SoundCloudWorkload",
+    "Task",
+    "TaskGenerator",
+    "TraceFormatError",
+    "UniformFanout",
+    "UniformPopularity",
+    "UniformValueSize",
+    "ValueSizeDistribution",
+    "ValueSizeRegistry",
+    "ZipfPopularity",
+    "arrival_times",
+    "atikoglu_etc",
+    "calibrate_service_model",
+    "calibrated_lognormal",
+    "empirical_mean",
+    "empirical_service_rate",
+    "load_trace",
+    "make_soundcloud_workload",
+    "save_trace",
+    "soundcloud_fanout",
+    "system_capacity",
+    "task_arrival_rate_for_load",
+    "trace_stats",
+]

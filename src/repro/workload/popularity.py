@@ -1,0 +1,130 @@
+"""Key-popularity models: which keys a task touches.
+
+Real key-value workloads are skewed (a few hot keys absorb much of the
+traffic); skew concentrates load on the replica groups owning hot
+partitions, which is exactly the regime where task-aware scheduling and
+load-aware replica selection matter.  Keys are integers in ``[0, n_keys)``;
+the cluster's partitioner maps them onto replica groups.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..sim.rng import Stream
+
+
+class PopularityModel:
+    """Interface: ``sample_key(stream) -> int`` in ``[0, n_keys)``."""
+
+    n_keys: int
+
+    def sample_key(self, stream: Stream) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def sample_distinct(self, stream: Stream, count: int) -> _t.List[int]:
+        """Draw ``count`` *distinct* keys (a task never re-reads a key).
+
+        Falls back to sequential fill if the keyspace is nearly exhausted,
+        which keeps the method total for tiny test keyspaces.
+        """
+        if count > self.n_keys:
+            raise ValueError(f"cannot draw {count} distinct keys from {self.n_keys}")
+        seen: _t.Set[int] = set()
+        attempts = 0
+        limit = 20 * count + 100
+        while len(seen) < count and attempts < limit:
+            seen.add(self.sample_key(stream))
+            attempts += 1
+        if len(seen) < count:
+            # Dense fallback: fill with the coldest unused keys.
+            for key in range(self.n_keys):
+                if key not in seen:
+                    seen.add(key)
+                    if len(seen) == count:
+                        break
+        return list(seen)
+
+
+class UniformPopularity(PopularityModel):
+    """All keys equally likely."""
+
+    def __init__(self, n_keys: int) -> None:
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        self.n_keys = int(n_keys)
+
+    def sample_key(self, stream: Stream) -> int:
+        return stream.randrange(self.n_keys)
+
+    def __repr__(self) -> str:
+        return f"UniformPopularity({self.n_keys})"
+
+
+class ZipfPopularity(PopularityModel):
+    """Zipf-distributed ranks mapped to a seeded permutation of the keyspace.
+
+    The permutation decouples popularity rank from key id, so hot keys are
+    spread across partitions the way a real hash-partitioned store would
+    see them (otherwise all hot keys would land in partition 0).
+    """
+
+    def __init__(self, n_keys: int, skew: float = 0.9, perm_seed: int = 1234) -> None:
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        if skew <= 0:
+            raise ValueError("skew must be positive")
+        self.n_keys = int(n_keys)
+        self.skew = float(skew)
+        perm_stream = Stream(perm_seed, "zipf-permutation")
+        self._perm = list(range(self.n_keys))
+        perm_stream.shuffle(self._perm)
+
+    def sample_key(self, stream: Stream) -> int:
+        rank = stream.zipf(self.n_keys, self.skew)
+        return self._perm[rank]
+
+    def __repr__(self) -> str:
+        return f"ZipfPopularity(n_keys={self.n_keys}, skew={self.skew})"
+
+
+class HotColdPopularity(PopularityModel):
+    """``hot_fraction`` of keys receive ``hot_weight`` of the traffic.
+
+    A deliberately crude two-tier skew used by ablations to create
+    controllable hotspots (e.g. 10% of keys get 90% of accesses).
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        hot_fraction: float = 0.1,
+        hot_weight: float = 0.9,
+        perm_seed: int = 99,
+    ) -> None:
+        if n_keys <= 1:
+            raise ValueError("n_keys must be > 1")
+        if not (0.0 < hot_fraction < 1.0):
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not (0.0 < hot_weight < 1.0):
+            raise ValueError("hot_weight must be in (0, 1)")
+        self.n_keys = int(n_keys)
+        self.hot_fraction = float(hot_fraction)
+        self.hot_weight = float(hot_weight)
+        self.n_hot = max(1, int(round(n_keys * hot_fraction)))
+        perm_stream = Stream(perm_seed, "hotcold-permutation")
+        self._perm = list(range(self.n_keys))
+        perm_stream.shuffle(self._perm)
+
+    def sample_key(self, stream: Stream) -> int:
+        if stream.random() < self.hot_weight:
+            rank = stream.randrange(self.n_hot)
+        else:
+            rank = self.n_hot + stream.randrange(self.n_keys - self.n_hot)
+        return self._perm[rank]
+
+    def __repr__(self) -> str:
+        return (
+            f"HotColdPopularity(n_keys={self.n_keys}, "
+            f"hot_fraction={self.hot_fraction}, hot_weight={self.hot_weight})"
+        )

@@ -1,0 +1,181 @@
+"""Task and operation models, and the generator that assembles them.
+
+A *task* is the unit end-user request (the paper's terminology): it fans
+out into *operations* (individual key reads).  The cluster later groups a
+task's operations into *sub-tasks* -- one per replica group -- which is
+where BRB's priority assignment happens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..sim.rng import Stream
+from .arrivals import ArrivalProcess
+from .fanout import FanoutDistribution
+from .popularity import PopularityModel
+from .valuesize import ValueSizeDistribution
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """A single key read within a task."""
+
+    #: Id unique within the whole trace (assigned by the generator).
+    op_id: int
+    #: Id of the task this operation belongs to.
+    task_id: int
+    #: The key being read.
+    key: int
+    #: Size of the value stored under ``key``, in bytes.
+    value_size: int
+
+    def __post_init__(self) -> None:
+        if self.value_size <= 0:
+            raise ValueError(f"operation {self.op_id}: value_size must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """A batched end-user request: a set of operations issued together."""
+
+    task_id: int
+    #: Virtual time at which the task arrives at its client.
+    arrival_time: float
+    #: Index of the client (application server) that receives the task.
+    client_id: int
+    operations: _t.Tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ValueError(f"task {self.task_id} has no operations")
+        if self.arrival_time < 0:
+            raise ValueError(f"task {self.task_id}: negative arrival time")
+
+    @property
+    def fanout(self) -> int:
+        """Number of operations in the task."""
+        return len(self.operations)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of the value sizes the task will read."""
+        return sum(op.value_size for op in self.operations)
+
+    def keys(self) -> _t.List[int]:
+        return [op.key for op in self.operations]
+
+
+class ValueSizeRegistry:
+    """Consistent key -> value size mapping.
+
+    A key's value size is drawn once (from the configured distribution,
+    seeded by the key itself) and reused on every subsequent access -- the
+    same key cannot be 100 bytes in one task and 1 MB in the next.  This
+    consistency is what lets clients *forecast* service times from value
+    sizes, the information BRB's cost model relies on.
+    """
+
+    def __init__(self, distribution: ValueSizeDistribution, seed: int) -> None:
+        self.distribution = distribution
+        self.seed = int(seed)
+        self._sizes: _t.Dict[int, int] = {}
+
+    def size_of(self, key: int) -> int:
+        size = self._sizes.get(key)
+        if size is None:
+            key_stream = Stream(self.seed ^ (key * 0x9E3779B97F4A7C15 % (1 << 61)), f"value:{key}")
+            size = self.distribution.sample(key_stream)
+            self._sizes[key] = size
+        return size
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+
+class TaskGenerator:
+    """Assembles tasks from fan-out, popularity, value-size and arrivals.
+
+    Deterministic given its streams: the same (config, seed) produces the
+    same trace, and strategy-internal randomness cannot perturb it (streams
+    are dedicated -- see :mod:`repro.sim.rng`).
+    """
+
+    def __init__(
+        self,
+        fanout: FanoutDistribution,
+        popularity: PopularityModel,
+        value_sizes: ValueSizeRegistry,
+        arrivals: ArrivalProcess,
+        n_clients: int,
+        streams: "_StreamsLike",
+    ) -> None:
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        self.fanout = fanout
+        self.popularity = popularity
+        self.value_sizes = value_sizes
+        self.arrivals = arrivals
+        self.n_clients = int(n_clients)
+        self._fanout_stream = streams.stream("workload.fanout")
+        self._key_stream = streams.stream("workload.keys")
+        self._arrival_stream = streams.stream("workload.arrivals")
+        self._client_stream = streams.stream("workload.clients")
+        self._next_task_id = 0
+        self._next_op_id = 0
+        self._clock = 0.0
+
+    def next_task(self) -> Task:
+        """Generate the next task in arrival order."""
+        self._clock += self.arrivals.next_interarrival(self._arrival_stream)
+        fanout = self.fanout.sample(self._fanout_stream)
+        fanout = min(fanout, self.popularity.n_keys)
+        keys = self.popularity.sample_distinct(self._key_stream, fanout)
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        ops = []
+        for key in keys:
+            ops.append(
+                Operation(
+                    op_id=self._next_op_id,
+                    task_id=task_id,
+                    key=key,
+                    value_size=self.value_sizes.size_of(key),
+                )
+            )
+            self._next_op_id += 1
+        return Task(
+            task_id=task_id,
+            arrival_time=self._clock,
+            client_id=self._client_stream.randrange(self.n_clients),
+            operations=tuple(ops),
+        )
+
+    def generate(self, n_tasks: int) -> _t.List[Task]:
+        """Materialize a trace of ``n_tasks`` tasks."""
+        if n_tasks < 0:
+            raise ValueError("n_tasks must be non-negative")
+        return [self.next_task() for _ in range(n_tasks)]
+
+
+class _StreamsLike(_t.Protocol):  # pragma: no cover - typing helper
+    def stream(self, name: str) -> Stream: ...
+
+
+def trace_stats(tasks: _t.Sequence[Task]) -> _t.Dict[str, float]:
+    """Summary statistics of a trace (used by tests and EXPERIMENTS.md)."""
+    if not tasks:
+        raise ValueError("empty trace")
+    n_ops = sum(t.fanout for t in tasks)
+    total_bytes = sum(t.total_bytes for t in tasks)
+    duration = tasks[-1].arrival_time - tasks[0].arrival_time
+    return {
+        "n_tasks": float(len(tasks)),
+        "n_operations": float(n_ops),
+        "mean_fanout": n_ops / len(tasks),
+        "max_fanout": float(max(t.fanout for t in tasks)),
+        "mean_value_size": total_bytes / n_ops,
+        "duration": duration,
+        "task_rate": (len(tasks) - 1) / duration if duration > 0 else float("inf"),
+    }

@@ -1,0 +1,108 @@
+"""Trace serialization: save and reload generated workloads.
+
+Traces are stored as JSON-lines: a single header record followed by one
+record per task.  The format is deliberately simple so traces can be
+inspected with standard tools and diffed across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+from pathlib import Path
+
+from .tasks import Operation, Task
+
+FORMAT_VERSION = 1
+
+
+def _task_record(task: Task) -> _t.Dict[str, _t.Any]:
+    return {
+        "task_id": task.task_id,
+        "arrival_time": task.arrival_time,
+        "client_id": task.client_id,
+        "ops": [[op.op_id, op.key, op.value_size] for op in task.operations],
+    }
+
+
+def _task_from_record(record: _t.Mapping[str, _t.Any]) -> Task:
+    task_id = int(record["task_id"])
+    ops = tuple(
+        Operation(
+            op_id=int(op_id),
+            task_id=task_id,
+            key=int(key),
+            value_size=int(size),
+        )
+        for op_id, key, size in record["ops"]
+    )
+    return Task(
+        task_id=task_id,
+        arrival_time=float(record["arrival_time"]),
+        client_id=int(record["client_id"]),
+        operations=ops,
+    )
+
+
+def save_trace(
+    path: _t.Union[str, Path],
+    tasks: _t.Sequence[Task],
+    metadata: _t.Optional[_t.Mapping[str, _t.Any]] = None,
+) -> None:
+    """Write a trace (with optional metadata) as JSON lines."""
+    path = Path(path)
+    header = {
+        "format": "repro-trace",
+        "version": FORMAT_VERSION,
+        "n_tasks": len(tasks),
+        "metadata": dict(metadata or {}),
+    }
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for task in tasks:
+            fh.write(json.dumps(_task_record(task)) + "\n")
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or of an unsupported version."""
+
+
+def load_trace(
+    path: _t.Union[str, Path]
+) -> _t.Tuple[_t.List[Task], _t.Dict[str, _t.Any]]:
+    """Read a trace; returns ``(tasks, metadata)``.
+
+    Raises :class:`TraceFormatError` on malformed input so callers can
+    distinguish a bad file from an I/O problem.
+    """
+    path = Path(path)
+    tasks: _t.List[Task] = []
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise TraceFormatError(f"{path}: empty trace file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: bad header: {exc}") from exc
+        if header.get("format") != "repro-trace":
+            raise TraceFormatError(f"{path}: not a repro trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                tasks.append(_task_from_record(record))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: bad task record: {exc}") from exc
+    declared = header.get("n_tasks")
+    if declared is not None and declared != len(tasks):
+        raise TraceFormatError(
+            f"{path}: header declares {declared} tasks, found {len(tasks)}"
+        )
+    return tasks, dict(header.get("metadata", {}))

@@ -1,0 +1,194 @@
+"""Value-size distributions.
+
+The paper generates request value sizes "using a Pareto distribution based
+on a study conducted on Facebook's Memcached deployment" (Atikoglu et al.,
+SIGMETRICS 2012).  That study fits a *Generalized Pareto* distribution to
+the value sizes of the ETC pool; we implement that sampler with the
+published parameters, plus a bounded (truncated) Pareto and a few simpler
+distributions used by tests and ablations.
+
+All samplers draw from a :class:`repro.sim.rng.Stream` passed by the
+caller, so the workload is reproducible and shared across strategies.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from ..sim.rng import Stream
+
+#: Generalized-Pareto parameters for the ETC pool value sizes reported by
+#: Atikoglu et al. (SIGMETRICS'12), Table 5: location theta, scale sigma,
+#: shape k.  Sizes are in bytes.
+ATIKOGLU_ETC_LOCATION = 0.0
+ATIKOGLU_ETC_SCALE = 214.476
+ATIKOGLU_ETC_SHAPE = 0.348238
+
+
+class ValueSizeDistribution:
+    """Interface: ``sample(stream) -> int`` bytes, plus the analytic mean."""
+
+    def sample(self, stream: Stream) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def mean(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class FixedValueSize(ValueSizeDistribution):
+    """Every value has the same size (unit tests, Figure 1 toy example)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = int(size)
+
+    def sample(self, stream: Stream) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+    def __repr__(self) -> str:
+        return f"FixedValueSize({self.size})"
+
+
+class UniformValueSize(ValueSizeDistribution):
+    """Uniform integer sizes in ``[lo, hi]``."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if not (0 < lo <= hi):
+            raise ValueError("need 0 < lo <= hi")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def sample(self, stream: Stream) -> int:
+        return stream.randint(self.lo, self.hi)
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformValueSize({self.lo}, {self.hi})"
+
+
+class GeneralizedParetoValueSize(ValueSizeDistribution):
+    """Generalized Pareto value sizes, truncated to ``[min_size, max_size]``.
+
+    The CDF is ``F(x) = 1 - (1 + k (x - theta) / sigma)^(-1/k)`` for shape
+    ``k != 0``; inverse-CDF sampling gives
+    ``x = theta + sigma ((1 - u)^(-k) - 1) / k``.
+
+    Truncation matters: with the Atikoglu shape (k ~= 0.35) raw draws have a
+    heavy tail; memcached deployments cap values (1 MB by default), and the
+    cap keeps the simulated service times physical.  The truncation is by
+    resampling, which preserves the distribution's shape below the cap.
+    """
+
+    def __init__(
+        self,
+        location: float = ATIKOGLU_ETC_LOCATION,
+        scale: float = ATIKOGLU_ETC_SCALE,
+        shape: float = ATIKOGLU_ETC_SHAPE,
+        min_size: int = 1,
+        max_size: int = 1_048_576,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if min_size < 1 or max_size <= min_size:
+            raise ValueError("need 1 <= min_size < max_size")
+        self.location = float(location)
+        self.scale = float(scale)
+        self.shape = float(shape)
+        self.min_size = int(min_size)
+        self.max_size = int(max_size)
+
+    def _raw_sample(self, u: float) -> float:
+        if abs(self.shape) < 1e-12:
+            return self.location - self.scale * math.log1p(-u)
+        return self.location + self.scale * ((1.0 - u) ** (-self.shape) - 1.0) / self.shape
+
+    def _cdf(self, x: float) -> float:
+        if x <= self.location:
+            return 0.0
+        z = (x - self.location) / self.scale
+        if abs(self.shape) < 1e-12:
+            return 1.0 - math.exp(-z)
+        return 1.0 - (1.0 + self.shape * z) ** (-1.0 / self.shape)
+
+    def sample(self, stream: Stream) -> int:
+        # Inverse-CDF restricted to [F(min), F(max)]: exact truncated draw
+        # with a single uniform (no rejection loop).
+        f_lo = self._cdf(float(self.min_size))
+        f_hi = self._cdf(float(self.max_size))
+        u = f_lo + stream.random() * (f_hi - f_lo)
+        x = self._raw_sample(u)
+        return max(self.min_size, min(self.max_size, int(round(x))))
+
+    def mean(self) -> float:
+        """Mean of the truncated distribution (numeric, cached)."""
+        cached = getattr(self, "_mean_cache", None)
+        if cached is not None:
+            return cached
+        # Integrate x f(x) over [min,max] via the tail formula
+        # E[X] = min + integral of (1 - F_trunc(x)) dx, with Simpson's rule
+        # on a log-spaced grid (the integrand spans several decades).
+        f_lo = self._cdf(float(self.min_size))
+        f_hi = self._cdf(float(self.max_size))
+        span = f_hi - f_lo
+
+        def survival(x: float) -> float:
+            return (f_hi - self._cdf(x)) / span
+
+        n = 4096
+        log_lo = math.log(self.min_size)
+        log_hi = math.log(self.max_size)
+        total = 0.0
+        prev_x = float(self.min_size)
+        prev_s = survival(prev_x)
+        for i in range(1, n + 1):
+            x = math.exp(log_lo + (log_hi - log_lo) * i / n)
+            s = survival(x)
+            total += 0.5 * (prev_s + s) * (x - prev_x)
+            prev_x, prev_s = x, s
+        mean = self.min_size + total
+        self._mean_cache = mean
+        return mean
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedParetoValueSize(scale={self.scale}, shape={self.shape}, "
+            f"max_size={self.max_size})"
+        )
+
+
+class BoundedParetoValueSize(ValueSizeDistribution):
+    """Classic bounded (truncated) Pareto on ``[lo, hi]`` with tail ``alpha``."""
+
+    def __init__(self, alpha: float = 1.2, lo: int = 64, hi: int = 1_048_576) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not (0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        self.alpha = float(alpha)
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def sample(self, stream: Stream) -> int:
+        return max(self.lo, min(self.hi, int(round(stream.bounded_pareto(self.alpha, self.lo, self.hi)))))
+
+    def mean(self) -> float:
+        a, l, h = self.alpha, float(self.lo), float(self.hi)
+        if abs(a - 1.0) < 1e-12:
+            return math.log(h / l) * l * h / (h - l)
+        num = (l**a) * a / (1.0 - (l / h) ** a)
+        return num * (l ** (1.0 - a) - h ** (1.0 - a)) / (a - 1.0)
+
+    def __repr__(self) -> str:
+        return f"BoundedParetoValueSize(alpha={self.alpha}, lo={self.lo}, hi={self.hi})"
+
+
+def atikoglu_etc(max_size: int = 1_048_576) -> GeneralizedParetoValueSize:
+    """The paper's value-size model: Atikoglu et al. ETC-pool fit."""
+    return GeneralizedParetoValueSize(max_size=max_size)

@@ -1,0 +1,57 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis import percentile_matrix, ratio_table, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 20.25}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.500" in out and "20.250" in out
+
+    def test_title(self):
+        out = render_table([{"x": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_selection(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        out = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert out  # renders without KeyError
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([])
+
+    def test_custom_float_format(self):
+        out = render_table([{"v": 1.23456}], float_fmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+
+
+class TestPercentileMatrix:
+    def test_figure2_shape(self):
+        out = percentile_matrix(
+            {
+                "c3": {50.0: 0.004, 99.0: 0.014},
+                "brb": {50.0: 0.0013, 99.0: 0.007},
+            },
+            percentiles=(50.0, 99.0),
+        )
+        lines = out.splitlines()
+        assert "p50 (ms)" in lines[0] and "p99 (ms)" in lines[0]
+        assert any("c3" in l for l in lines)
+        assert "4.000" in out  # seconds converted to ms
+
+
+class TestRatioTable:
+    def test_renders_multipliers(self):
+        out = ratio_table({50.0: 3.1, 99.0: 2.05}, label="C3 / BRB")
+        assert "3.10x" in out and "2.05x" in out
+        assert "p50" in out and "p99" in out

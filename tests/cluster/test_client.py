@@ -1,0 +1,107 @@
+"""Unit tests for the client: intake, accounting, completion detection."""
+
+import pytest
+
+from repro.baselines import ObliviousStrategy, RoundRobinSelector
+from repro.cluster import (
+    BackendServer,
+    Client,
+    Network,
+    RingPlacement,
+)
+from repro.cluster.network import ConstantLatency
+from repro.metrics import ExactSample
+from repro.sim import Environment, Stream, StreamFactory
+from repro.workload import ServiceTimeModel
+from repro.workload.tasks import Operation, Task
+
+
+def make_task(task_id, keys, arrival=0.0, client=0, size=1):
+    ops = tuple(
+        Operation(op_id=task_id * 100 + i, task_id=task_id, key=k, value_size=size)
+        for i, k in enumerate(keys)
+    )
+    return Task(task_id=task_id, arrival_time=arrival, client_id=client, operations=ops)
+
+
+class Rig:
+    def __init__(self, n_servers=3, cores=1, latency=0.0):
+        self.env = Environment()
+        self.network = Network(
+            self.env, latency=ConstantLatency(latency), stream=Stream(0, "n")
+        )
+        self.placement = RingPlacement(n_servers=n_servers, replication_factor=1)
+        self.model = ServiceTimeModel(overhead=0.0, bandwidth=1.0, noise="none")
+        self.servers = [
+            BackendServer(
+                self.env,
+                server_id=s,
+                cores=cores,
+                service_model=self.model,
+                network=self.network,
+                service_stream=Stream(s + 1, f"svc{s}"),
+            )
+            for s in range(n_servers)
+        ]
+        self.tasks = ExactSample()
+        self.requests = ExactSample()
+        self.completions = []
+        self.client = Client(
+            self.env,
+            client_id=0,
+            network=self.network,
+            strategy=ObliviousStrategy(self.placement, RoundRobinSelector(), self.model),
+            task_recorder=self.tasks,
+            request_recorder=self.requests,
+            on_complete=self.completions.append,
+        )
+
+
+class TestClient:
+    def test_task_completes_when_all_responses_arrive(self):
+        rig = Rig()
+        rig.client.submit(make_task(0, keys=[0, 1, 2]))
+        rig.env.run()
+        assert rig.client.tasks_completed == 1
+        assert rig.client.pending_tasks == 0
+        assert len(rig.completions) == 1
+
+    def test_task_latency_is_last_response(self):
+        rig = Rig(n_servers=1)
+        # Three ops serialize on one single-core server: 3 seconds total.
+        rig.client.submit(make_task(0, keys=[0, 1, 2], size=1))
+        rig.env.run()
+        assert rig.tasks.values()[0] == pytest.approx(3.0)
+
+    def test_request_latencies_recorded_per_op(self):
+        rig = Rig()
+        rig.client.submit(make_task(0, keys=[0, 1, 2]))
+        rig.env.run()
+        assert rig.requests.count == 3
+
+    def test_duplicate_submit_rejected(self):
+        rig = Rig()
+        rig.client.submit(make_task(0, keys=[0]))
+        with pytest.raises(ValueError):
+            rig.client.submit(make_task(0, keys=[1]))
+
+    def test_network_latency_included_in_task_latency(self):
+        rig = Rig(n_servers=1, latency=0.5)
+        rig.client.submit(make_task(0, keys=[0], size=2))
+        rig.env.run()
+        # 0.5 out + 2.0 service + 0.5 back.
+        assert rig.tasks.values()[0] == pytest.approx(3.0)
+
+    def test_counters(self):
+        rig = Rig()
+        for i in range(3):
+            rig.client.submit(make_task(i, keys=[i]))
+        rig.env.run()
+        assert rig.client.tasks_submitted == 3
+        assert rig.client.tasks_completed == 3
+
+    def test_unexpected_control_message_raises(self):
+        rig = Rig()
+        rig.network.send("x", ("client", 0), object())
+        with pytest.raises(TypeError):
+            rig.env.run()

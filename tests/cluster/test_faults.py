@@ -1,0 +1,92 @@
+"""Unit tests for the slowdown fault injector."""
+
+import pytest
+
+from repro.cluster import BackendServer, Network, SlowdownInjector, client_address, server_address
+from repro.cluster.messages import RequestMessage
+from repro.cluster.network import ConstantLatency
+from repro.sim import Environment, Stream
+from repro.workload import ServiceTimeModel
+from repro.workload.tasks import Operation
+
+
+def make_server(env, network):
+    return BackendServer(
+        env,
+        server_id=0,
+        cores=1,
+        service_model=ServiceTimeModel(overhead=0.0, bandwidth=1.0, noise="none"),
+        network=network,
+        service_stream=Stream(1, "svc"),
+    )
+
+
+def req(op_id=0, size=1):
+    return RequestMessage(
+        op=Operation(op_id=op_id, task_id=0, key=0, value_size=size),
+        task_id=0,
+        client_id=0,
+        partition=0,
+    )
+
+
+class TestSlowdownInjector:
+    def make_rig(self, **injector_kwargs):
+        env = Environment()
+        network = Network(env, latency=ConstantLatency(0.0), stream=Stream(0, "n"))
+        responses = []
+        network.register(client_address(0), responses.append)
+        server = make_server(env, network)
+        injector = SlowdownInjector(env, server, **injector_kwargs)
+        return env, network, server, injector, responses
+
+    def test_slow_window_multiplies_service_time(self):
+        env, network, server, injector, responses = self.make_rig(
+            factor=3.0, start=0.0, duration=100.0
+        )
+        network.send(client_address(0), server_address(0), req(size=1))
+        env.run(until=50.0)
+        assert len(responses) == 1
+        assert responses[0].request.service_time == pytest.approx(3.0)
+
+    def test_recovery_after_window(self):
+        env, network, server, injector, responses = self.make_rig(
+            factor=5.0, start=0.0, duration=2.0
+        )
+
+        def driver(env):
+            yield env.timeout(10.0)  # past the degraded window
+            network.send(client_address(0), server_address(0), req(size=1))
+
+        env.process(driver(env))
+        env.run(until=20.0)
+        assert responses[0].request.service_time == pytest.approx(1.0)
+        assert injector.windows_injected == 1
+
+    def test_periodic_windows_recur(self):
+        env, network, server, injector, responses = self.make_rig(
+            factor=2.0, start=0.0, duration=1.0, period=2.0
+        )
+        env.run(until=10.5)
+        assert injector.windows_injected >= 5
+
+    def test_delayed_start(self):
+        env, network, server, injector, responses = self.make_rig(
+            factor=2.0, start=5.0, duration=1.0
+        )
+        network.send(client_address(0), server_address(0), req(size=1))
+        env.run(until=3.0)
+        assert responses[0].request.service_time == pytest.approx(1.0)
+
+    def test_validates(self):
+        env = Environment()
+        network = Network(env, stream=Stream(0, "n"))
+        server = make_server(env, network)
+        with pytest.raises(ValueError):
+            SlowdownInjector(env, server, factor=1.0)
+        with pytest.raises(ValueError):
+            SlowdownInjector(env, server, duration=0.0)
+        with pytest.raises(ValueError):
+            SlowdownInjector(env, server, start=-1.0)
+        with pytest.raises(ValueError):
+            SlowdownInjector(env, server, duration=2.0, period=1.0)

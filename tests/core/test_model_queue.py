@@ -1,0 +1,58 @@
+"""Unit tests for the ideal global-queue realization."""
+
+import pytest
+
+from repro.cluster import RequestMessage
+from repro.cluster.network import ConstantLatency
+from repro.core import GlobalQueue
+from repro.sim import Environment, Stream
+from repro.workload.tasks import Operation
+
+
+def req(op_id=0, priority=(0.0, 0.0, 0.0), partition=0):
+    return RequestMessage(
+        op=Operation(op_id=op_id, task_id=0, key=0, value_size=10),
+        task_id=0,
+        client_id=0,
+        partition=partition,
+        priority=priority,
+    )
+
+
+class TestGlobalQueue:
+    def test_submit_applies_network_delay(self):
+        env = Environment()
+        gq = GlobalQueue(env, latency=ConstantLatency(0.5), stream=Stream(0))
+        request = req()
+        gq.submit(request)
+        assert len(gq) == 0  # still in flight
+        env.run()
+        assert len(gq) == 1
+        assert request.enqueued_at == pytest.approx(0.5)
+        assert request.dispatched_at == 0.0
+
+    def test_orders_by_priority_across_clients(self):
+        env = Environment()
+        gq = GlobalQueue(env, latency=ConstantLatency(0.0), stream=Stream(0))
+        out = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield gq.store.get()
+                out.append(item.item.op.op_id)
+
+        gq.submit(req(op_id=0, priority=(3.0, 0.0, 0.0)))
+        gq.submit(req(op_id=1, priority=(1.0, 0.0, 0.0)))
+        gq.submit(req(op_id=2, priority=(2.0, 0.0, 0.0)))
+        env.process(consumer(env))
+        env.run()
+        assert out == [1, 2, 0]
+
+    def test_submitted_counter(self):
+        env = Environment()
+        gq = GlobalQueue(env, latency=ConstantLatency(0.0), stream=Stream(0))
+        for i in range(5):
+            gq.submit(req(op_id=i))
+        env.run()
+        assert gq.submitted == 5
+        assert len(gq) == 5

@@ -1,0 +1,63 @@
+"""Tests for the per-request latency decomposition."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment
+
+SMALL = dict(n_tasks=500, n_keys=3000, record_requests=True)
+
+
+class TestLatencyAnatomy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(ExperimentConfig(strategy="c3", **SMALL), seed=1)
+
+    def test_samples_populated(self, result):
+        assert result.queue_waits is not None
+        assert result.service_times is not None
+        assert result.client_waits is not None
+        assert result.queue_waits.count == result.request_latencies.count
+        assert result.service_times.count == result.request_latencies.count
+        assert result.client_waits.count == result.request_latencies.count
+
+    def test_decomposition_adds_up(self, result):
+        """client wait + network + queue + service == request latency, in
+        the mean.  The constant-latency network contributes exactly 2x50us
+        per request; means are additive even though percentiles are not.
+        """
+        network = 2 * 50e-6
+        recomposed = (
+            result.client_waits.mean
+            + network
+            + result.queue_waits.mean
+            + result.service_times.mean
+        )
+        assert recomposed == pytest.approx(result.request_latencies.mean, rel=1e-6)
+
+    def test_components_nonnegative(self, result):
+        assert result.queue_waits.min >= 0
+        assert result.service_times.min > 0
+
+    def test_disabled_by_default(self):
+        r = run_experiment(
+            ExperimentConfig(strategy="c3", n_tasks=200, n_keys=2000), seed=1
+        )
+        assert r.queue_waits is None and r.service_times is None
+        assert r.client_waits is None
+
+    def test_scheduler_only_moves_queue_wait(self):
+        """Same trace, same servers: service times must be identical (the
+        deterministic model makes them a pure function of the op), so any
+        task-latency difference lives in the schedulable components."""
+        c3 = run_experiment(ExperimentConfig(strategy="c3", **SMALL), seed=2)
+        brb = run_experiment(
+            ExperimentConfig(strategy="unifincr-model", **SMALL), seed=2
+        )
+        assert brb.service_times.mean == pytest.approx(
+            c3.service_times.mean, rel=1e-9
+        )
+        # The ideal model cuts the *median* queue wait (short requests stop
+        # waiting behind convoys)...
+        assert brb.queue_waits.quantile(0.5) < c3.queue_waits.quantile(0.5)
+        # ...and converts that into better task tails.
+        assert brb.summary((99.0,)).p99 < c3.summary((99.0,)).p99

@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "warp-drive"])
+
+
+class TestCommands:
+    def test_strategies_lists_all(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "c3" in out and "unifincr-credits" in out
+        assert "*" in out  # figure-2 markers
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "task-oblivious" in out and "task-aware" in out
+        assert "1.0" in out and "2.0" in out
+
+    def test_run_small(self, capsys):
+        assert main([
+            "run", "--strategy", "oblivious-random", "--tasks", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "oblivious-random" in out
+        assert "p99" in out
+
+    def test_run_with_slowdown(self, capsys):
+        assert main([
+            "run", "--strategy", "oblivious-lor", "--tasks", "200",
+            "--slow-server", "0",
+        ]) == 0
+        assert "slowdown_windows" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["trace", "generate", str(path), "--tasks", "100"]) == 0
+        assert main(["trace", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_fanout" in out
+
+    def test_figure2_tiny(self, tmp_path, capsys):
+        out_path = tmp_path / "fig2.json"
+        assert main([
+            "figure2", "--tasks", "200", "--seeds", "1", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "equalmax-credits" in out
+        data = json.loads(out_path.read_text())
+        assert set(data["strategies"]) == {
+            "c3", "equalmax-credits", "equalmax-model",
+            "unifincr-credits", "unifincr-model",
+        }

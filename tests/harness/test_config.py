@@ -1,0 +1,72 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    FIGURE2_STRATEGIES,
+    KNOWN_STRATEGIES,
+    paper_figure2_config,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_setup(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_clients == 18
+        assert cfg.cluster.n_servers == 9
+        assert cfg.cluster.cores_per_server == 4
+        assert cfg.load == 0.70
+        assert cfg.mean_fanout == 8.6
+        assert cfg.credits_epoch == 1.0
+
+    def test_figure2_strategies_are_known(self):
+        assert set(FIGURE2_STRATEGIES) <= set(KNOWN_STRATEGIES)
+        assert "c3" in FIGURE2_STRATEGIES
+        assert len(FIGURE2_STRATEGIES) == 5
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ExperimentConfig(strategy="magic")
+
+    def test_with_strategy_preserves_workload_shape(self):
+        base = ExperimentConfig(strategy="c3", n_tasks=123, load=0.6)
+        other = base.with_strategy("equalmax-model")
+        assert other.strategy == "equalmax-model"
+        assert other.n_tasks == 123
+        assert other.load == 0.6
+
+    def test_workload_derivation(self):
+        cfg = ExperimentConfig(n_tasks=100)
+        w = cfg.workload()
+        assert w.n_tasks == 100
+        assert w.n_clients == cfg.n_clients
+        assert w.task_rate > 0
+
+    def test_workload_identical_across_strategies(self):
+        """The paired-comparison guarantee: same seed, same trace."""
+        cfg = ExperimentConfig(n_tasks=50)
+        t_a = cfg.workload().generate(seed=3)
+        t_b = cfg.with_strategy("unifincr-model").workload().generate(seed=3)
+        assert [t.keys() for t in t_a] == [t.keys() for t in t_b]
+        assert [t.arrival_time for t in t_a] == [t.arrival_time for t in t_b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(load=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(credits_epoch=0.0)
+
+    def test_describe_mentions_strategy(self):
+        assert "c3" in ExperimentConfig(strategy="c3").describe()
+
+    def test_paper_figure2_config(self):
+        cfg = paper_figure2_config(n_tasks=500)
+        assert cfg.n_tasks == 500
+        assert cfg.load == 0.70

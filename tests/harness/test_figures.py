@@ -1,0 +1,60 @@
+"""Tests for the figure regeneration entry points.
+
+Figure 1 is fully deterministic and asserted exactly.  Figure 2 at test
+scale only checks plumbing (the benchmark asserts the paper's shape at
+full scale).
+"""
+
+import pytest
+
+from repro.harness import figure1_toy, figure2, figure2_series
+
+
+class TestFigure1:
+    """The paper's worked example, reproduced exactly.
+
+    "doing otherwise results in a suboptimal schedule where T2 completes
+    in 2 time units whereas in the optimal schedule the completion time of
+    T2 is just 1 time unit."
+    """
+
+    def test_oblivious_schedule(self):
+        result = figure1_toy(task_aware=False)
+        assert result.t1_completion == pytest.approx(2.0)
+        assert result.t2_completion == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("assigner", ["unifincr", "equalmax"])
+    def test_task_aware_schedule(self, assigner):
+        result = figure1_toy(task_aware=True, assigner_name=assigner)
+        assert result.t1_completion == pytest.approx(2.0)  # B,C serialize
+        assert result.t2_completion == pytest.approx(1.0)  # the paper's win
+
+    def test_labels(self):
+        assert figure1_toy(task_aware=False).schedule == "task-oblivious"
+        assert figure1_toy(task_aware=True).schedule == "task-aware"
+
+
+class TestFigure2Plumbing:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return figure2(
+            n_tasks=300,
+            seeds=(1,),
+            strategies=("c3", "equalmax-model"),
+            n_keys=2000,
+        )
+
+    def test_strategies_present(self, tiny):
+        assert set(tiny.strategies) == {"c3", "equalmax-model"}
+
+    def test_series_pivot(self, tiny):
+        series = figure2_series(tiny)
+        assert set(series) == {"p50", "p95", "p99"}
+        assert set(series["p99"]) == {"c3", "equalmax-model"}
+        for row in series.values():
+            for v in row.values():
+                assert v > 0  # milliseconds, positive
+
+    def test_speedup_computable(self, tiny):
+        ratios = tiny.speedup("c3", "equalmax-model")
+        assert set(ratios) == {50.0, 95.0, 99.0}

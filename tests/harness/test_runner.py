@@ -1,0 +1,100 @@
+"""Integration-grade unit tests for the experiment runner.
+
+Small task counts keep each run fast; the benchmarks exercise full scale.
+"""
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment, run_seeds
+
+SMALL = dict(n_tasks=400, n_keys=2000)
+
+
+def small_cfg(strategy, **kw):
+    args = dict(SMALL)
+    args.update(kw)
+    return ExperimentConfig(strategy=strategy, **args)
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            "c3",
+            "c3-norate",
+            "oblivious-random",
+            "oblivious-rr",
+            "oblivious-lor",
+            "equalmax-credits",
+            "unifincr-credits",
+            "fifo-credits",
+            "sjf-credits",
+            "edf-credits",
+            "equalmax-model",
+            "unifincr-model",
+            "fifo-model",
+            "sjf-model",
+        ],
+    )
+    def test_every_strategy_completes_all_tasks(self, strategy):
+        result = run_experiment(small_cfg(strategy), seed=1)
+        assert result.tasks_completed == 400
+        assert result.requests_served > 400  # fan-out > 1
+        assert result.task_latencies.count == result.tasks_measured
+        assert result.sim_duration > 0
+
+    def test_warmup_exclusion(self):
+        cfg = small_cfg("oblivious-random", warmup_fraction=0.25)
+        result = run_experiment(cfg, seed=1)
+        assert result.tasks_measured == 300
+        assert result.tasks_completed == 400
+
+    def test_deterministic_given_seed(self):
+        cfg = small_cfg("equalmax-credits")
+        r1 = run_experiment(cfg, seed=7)
+        r2 = run_experiment(cfg, seed=7)
+        assert r1.task_latencies.values() == r2.task_latencies.values()
+        assert r1.events_processed == r2.events_processed
+
+    def test_seeds_differ(self):
+        cfg = small_cfg("oblivious-lor")
+        r1 = run_experiment(cfg, seed=1)
+        r2 = run_experiment(cfg, seed=2)
+        assert r1.task_latencies.values() != r2.task_latencies.values()
+
+    def test_request_recording_optional(self):
+        cfg = small_cfg("oblivious-random", record_requests=True)
+        result = run_experiment(cfg, seed=1)
+        assert result.request_latencies is not None
+        assert result.request_latencies.count == result.requests_served
+
+    def test_credits_extras_present(self):
+        result = run_experiment(small_cfg("equalmax-credits"), seed=1)
+        assert "congestion_signals" in result.extras
+        assert "gated_requests" in result.extras
+
+    def test_model_extras_present(self):
+        result = run_experiment(small_cfg("unifincr-model"), seed=1)
+        assert result.extras["global_queue_submitted"] == result.requests_served
+
+    def test_summary_has_requested_percentiles(self):
+        result = run_experiment(small_cfg("c3-norate"), seed=1)
+        summary = result.summary((50.0, 95.0, 99.0))
+        assert summary.percentile(50.0) <= summary.percentile(95.0)
+        assert summary.percentile(95.0) <= summary.percentile(99.0)
+
+    def test_latencies_exceed_network_floor(self):
+        """No task can beat two one-way latencies plus one service time."""
+        result = run_experiment(small_cfg("oblivious-random"), seed=3)
+        floor = 2 * 50e-6
+        assert result.task_latencies.min > floor
+
+
+class TestRunSeeds:
+    def test_runs_each_seed(self):
+        results = run_seeds(small_cfg("oblivious-random"), seeds=[1, 2, 3])
+        assert [r.seed for r in results] == [1, 2, 3]
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds(small_cfg("c3"), seeds=[])

@@ -1,0 +1,78 @@
+"""Unit tests for the generic parameter-sweep API."""
+
+import pytest
+
+from repro.harness import ExperimentConfig
+from repro.harness.sweep import SweepResult, _replace_parameter, sweep
+
+
+class TestReplaceParameter:
+    def test_top_level_field(self):
+        cfg = _replace_parameter(ExperimentConfig(), "load", 0.5)
+        assert cfg.load == 0.5
+
+    def test_cluster_field(self):
+        cfg = _replace_parameter(
+            ExperimentConfig(), "cluster.one_way_latency", 1e-3
+        )
+        assert cfg.cluster.one_way_latency == 1e-3
+        assert cfg.cluster.n_servers == 9  # other fields preserved
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            _replace_parameter(ExperimentConfig(), "does_not_exist", 1)
+        with pytest.raises(ValueError):
+            _replace_parameter(ExperimentConfig(), "cluster.nope", 1)
+        with pytest.raises(ValueError):
+            _replace_parameter(ExperimentConfig(), "workload.load", 1)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return sweep(
+            ExperimentConfig(n_tasks=200, n_keys=2000),
+            parameter="load",
+            values=[0.4, 0.7],
+            strategies=("oblivious-random", "oblivious-lor"),
+            seeds=(1,),
+        )
+
+    def test_structure(self, small_sweep):
+        assert small_sweep.values == (0.4, 0.7)
+        assert set(small_sweep.comparisons) == {0.4, 0.7}
+        for comparison in small_sweep.comparisons.values():
+            assert set(comparison.strategies) == {
+                "oblivious-random",
+                "oblivious-lor",
+            }
+
+    def test_percentile_series(self, small_sweep):
+        series = small_sweep.percentile_series("oblivious-lor", 99.0)
+        assert [v for v, _ in series] == [0.4, 0.7]
+        assert all(latency > 0 for _, latency in series)
+
+    def test_speedup_series(self, small_sweep):
+        series = small_sweep.speedup_series(
+            "oblivious-random", "oblivious-lor", 50.0
+        )
+        assert len(series) == 2
+        assert all(ratio > 0 for _, ratio in series)
+
+    def test_rows_and_render(self, small_sweep):
+        rows = small_sweep.rows(99.0)
+        assert len(rows) == 2
+        assert "load" in rows[0]
+        text = small_sweep.render(99.0)
+        assert "sweep over load" in text
+
+    def test_to_dict(self, small_sweep):
+        d = small_sweep.to_dict()
+        assert d["parameter"] == "load"
+        assert set(d["points"]) == {"0.4", "0.7"}
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            sweep(ExperimentConfig(), "load", [], ("c3",))
+        with pytest.raises(ValueError):
+            sweep(ExperimentConfig(), "load", [0.5], ())

@@ -1,0 +1,53 @@
+"""Unit tests for counters, gauges and the registry."""
+
+import pytest
+
+from repro.metrics import MetricRegistry
+
+
+class TestCounter:
+    def test_increment(self):
+        reg = MetricRegistry()
+        c = reg.counter("x")
+        c.increment()
+        c.increment(5)
+        assert c.value == 6
+        assert int(c) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("x").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(5.0)
+        g.add(-2.0)
+        assert g.value == 3.0
+
+    def test_tracks_max(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(5.0)
+        g.set(2.0)
+        assert g.max_value == 5.0
+
+
+class TestRegistry:
+    def test_memoizes_by_name(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+
+    def test_snapshot_merges(self):
+        reg = MetricRegistry()
+        reg.counter("sent").increment(3)
+        reg.gauge("queue").set(1.5)
+        snap = reg.snapshot()
+        assert snap == {"sent": 3, "queue": 1.5}
+
+    def test_counters_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("b").increment()
+        reg.counter("a").increment()
+        assert list(reg.counters()) == ["a", "b"]

@@ -1,0 +1,120 @@
+"""Unit tests for time series, windowed rates and EWMA estimators."""
+
+import math
+
+import pytest
+
+from repro.metrics import EwmaEstimator, TimeSeries, WindowedRate
+
+
+class TestTimeSeries:
+    def test_record_and_window(self):
+        ts = TimeSeries("q")
+        for t in range(10):
+            ts.record(float(t), t * 2.0)
+        window = ts.window(2.0, 5.0)
+        assert [t for t, _ in window] == [2.0, 3.0, 4.0]
+        assert [v for _, v in window] == [4.0, 6.0, 8.0]
+
+    def test_rejects_time_regression(self):
+        ts = TimeSeries()
+        ts.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 0.0)
+
+    def test_mean_over(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)
+        ts.record(1.0, 20.0)
+        assert ts.mean_over(0.0, 2.0) == 15.0
+
+    def test_mean_over_empty_window_raises(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.mean_over(5.0, 6.0)
+
+    def test_last(self):
+        ts = TimeSeries()
+        with pytest.raises(ValueError):
+            ts.last()
+        ts.record(1.0, 5.0)
+        assert ts.last() == (1.0, 5.0)
+
+    def test_window_validates_bounds(self):
+        ts = TimeSeries()
+        with pytest.raises(ValueError):
+            ts.window(2.0, 1.0)
+
+
+class TestWindowedRate:
+    def test_rate_within_window(self):
+        wr = WindowedRate(window=1.0)
+        for t in (0.1, 0.2, 0.3, 0.4):
+            wr.record(t)
+        assert wr.rate(0.5) == pytest.approx(4.0)
+
+    def test_eviction(self):
+        wr = WindowedRate(window=1.0)
+        wr.record(0.0)
+        wr.record(2.0)
+        assert wr.count(2.5) == 1.0  # first event evicted
+
+    def test_weighted_events(self):
+        wr = WindowedRate(window=2.0)
+        wr.record(0.0, weight=3.0)
+        wr.record(1.0, weight=1.0)
+        assert wr.count(1.5) == 4.0
+        assert wr.rate(1.5) == pytest.approx(2.0)
+
+    def test_rejects_time_regression(self):
+        wr = WindowedRate(window=1.0)
+        wr.record(1.0)
+        with pytest.raises(ValueError):
+            wr.record(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=0.0)
+
+
+class TestEwmaEstimator:
+    def test_first_sample_initializes(self):
+        e = EwmaEstimator(time_constant=1.0)
+        e.update(0.0, 10.0)
+        assert e.value == 10.0
+
+    def test_converges_to_constant_signal(self):
+        e = EwmaEstimator(time_constant=0.5)
+        for i in range(100):
+            e.update(i * 0.1, 42.0)
+        assert e.value == pytest.approx(42.0)
+
+    def test_decay_follows_time_constant(self):
+        e = EwmaEstimator(time_constant=1.0)
+        e.update(0.0, 0.0)
+        # One time constant later, a unit step should close 1 - 1/e of the gap.
+        e.update(1.0, 1.0)
+        assert e.value == pytest.approx(1.0 - math.exp(-1.0), rel=1e-9)
+
+    def test_step_size_invariance(self):
+        """Sampling cadence must not change the effective time constant:
+        ten 0.1s updates toward a constant target equal one 1.0s update."""
+        fast = EwmaEstimator(time_constant=1.0)
+        slow = EwmaEstimator(time_constant=1.0)
+        fast.update(0.0, 0.0)
+        slow.update(0.0, 0.0)
+        for i in range(1, 11):
+            fast.update(i * 0.1, 1.0)
+        slow.update(1.0, 1.0)
+        assert fast.value == pytest.approx(slow.value, rel=1e-9)
+
+    def test_rejects_time_regression(self):
+        e = EwmaEstimator(time_constant=1.0)
+        e.update(1.0, 1.0)
+        with pytest.raises(ValueError):
+            e.update(0.5, 1.0)
+
+    def test_invalid_time_constant(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(time_constant=0.0)

@@ -1,0 +1,91 @@
+"""Unit tests for server queue disciplines."""
+
+import pytest
+
+from repro.cluster import RequestMessage
+from repro.scheduling import (
+    EdfDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+    SjfDiscipline,
+    make_discipline,
+)
+from repro.workload.tasks import Operation
+
+
+def req(op_id=0, size=100, priority=(0.0,), expected=0.0, created=0.0, bottleneck=0.0):
+    r = RequestMessage(
+        op=Operation(op_id=op_id, task_id=0, key=0, value_size=size),
+        task_id=0,
+        client_id=0,
+        partition=0,
+        priority=priority,
+        expected_service=expected,
+        bottleneck_cost=bottleneck,
+    )
+    r.created_at = created
+    return r
+
+
+class TestFifo:
+    def test_keys_increase_with_arrival(self):
+        d = FifoDiscipline()
+        k1 = d.key(req(op_id=1), now=0.0)
+        k2 = d.key(req(op_id=2), now=0.0)
+        assert k1 < k2
+
+    def test_independent_instances(self):
+        d1, d2 = FifoDiscipline(), FifoDiscipline()
+        assert d1.key(req(), 0.0) == d2.key(req(), 0.0)
+
+
+class TestSjf:
+    def test_orders_by_forecast(self):
+        d = SjfDiscipline()
+        assert d.key(req(expected=1.0), 0.0) < d.key(req(expected=2.0), 0.0)
+
+
+class TestEdf:
+    def test_orders_by_deadline(self):
+        d = EdfDiscipline()
+        early = req(created=0.0, bottleneck=1.0)
+        late = req(created=0.0, bottleneck=5.0)
+        assert d.key(early, 0.0) < d.key(late, 0.0)
+
+    def test_older_task_with_same_bottleneck_wins(self):
+        d = EdfDiscipline()
+        old = req(created=0.0, bottleneck=2.0)
+        new = req(created=1.0, bottleneck=2.0)
+        assert d.key(old, 5.0) < d.key(new, 5.0)
+
+
+class TestPriority:
+    def test_uses_request_priority_tuple(self):
+        d = PriorityDiscipline()
+        assert d.key(req(priority=(1.0, 0.0, 0.0)), 0.0) < d.key(
+            req(priority=(2.0, 0.0, 0.0)), 0.0
+        )
+
+    def test_lexicographic_tie_break(self):
+        d = PriorityDiscipline()
+        assert d.key(req(priority=(1.0, 0.5, 0.0)), 0.0) < d.key(
+            req(priority=(1.0, 0.7, 0.0)), 0.0
+        )
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fifo", FifoDiscipline),
+            ("sjf", SjfDiscipline),
+            ("edf", EdfDiscipline),
+            ("priority", PriorityDiscipline),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_discipline(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown discipline"):
+            make_discipline("lifo")

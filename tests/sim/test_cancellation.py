@@ -1,0 +1,82 @@
+"""Tests for the cancellation paths of store and resource operations."""
+
+import pytest
+
+from repro.sim import Environment, PriorityItem, PriorityStore, Resource, Store
+
+
+class TestStoreCancel:
+    def test_cancelled_get_never_receives(self):
+        env = Environment()
+        store = Store(env)
+        get_ev = store.get()
+        get_ev.cancel()
+        store.put("item")
+        env.run()
+        assert not get_ev.triggered
+        assert store.items == ["item"]
+
+    def test_cancelled_put_never_lands(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("first")
+        blocked = store.put("second")  # over capacity: waits
+        blocked.cancel()
+        taken = store.get()
+        env.run()
+        assert taken.value == "first"
+        assert len(store.items) == 0  # "second" never entered
+
+    def test_cancel_after_trigger_is_noop(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        get_ev = store.get()
+        env.run()
+        assert get_ev.value == "x"
+        get_ev.cancel()  # already satisfied: must not raise
+
+    def test_cancelled_get_does_not_steal_priority_item(self):
+        env = Environment()
+        store = PriorityStore(env)
+        first = store.get()
+        first.cancel()
+        second = store.get()
+        store.put(PriorityItem(1, "payload"))
+        env.run()
+        assert not first.triggered
+        assert second.value.item == "payload"
+
+
+class TestResourceCancel:
+    def test_cancelled_request_gives_up_queue_spot(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        holder = res.request()  # granted immediately (capacity free)
+        assert holder.triggered
+        waiting = res.request()  # queued behind the holder
+        waiting.cancel()
+        late = res.request()  # queued after the cancelled one
+        late.callbacks.append(lambda e: order.append("late"))
+
+        def finish(env):
+            yield env.timeout(1.0)
+            res.release(holder)
+
+        env.process(finish(env))
+        env.run()
+        assert order == ["late"]  # skipped the cancelled request
+        assert not waiting.triggered
+
+    def test_release_of_queued_request_cancels_it(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        queued = res.request()
+        res.release(queued)  # never granted: acts as cancel
+        res.release(holder)
+        env.run()
+        assert not queued.triggered
+        assert res.count == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the environment: clock, calendar, run semantics."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment, Infinity, SimulationError
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_time_advances_monotonically(self):
+        env = Environment()
+        stamps = []
+
+        def proc(env):
+            for delay in (3.0, 0.0, 2.0, 0.5):
+                yield env.timeout(delay)
+                stamps.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert stamps == [3.0, 3.0, 5.0, 5.5]
+        assert stamps == sorted(stamps)
+
+    def test_peek_empty_is_infinity(self):
+        assert Environment().peek() == Infinity
+
+    def test_peek_returns_next_event_time(self):
+        env = Environment()
+        env.timeout(7.0)
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestRun:
+    def test_run_until_time(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return "finished"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "finished"
+        assert env.now == 2.0
+
+    def test_run_until_exhaustion_returns_none(self):
+        env = Environment()
+        env.timeout(1.0)
+        assert env.run() is None
+        assert env.now == 1.0
+
+    def test_run_until_event_that_never_fires_raises(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+        t = env.timeout(1.0, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_step_on_empty_calendar_raises(self):
+        with pytest.raises(EmptySchedule):
+            Environment().step()
+
+    def test_events_processed_counter(self):
+        env = Environment()
+        for _ in range(5):
+            env.timeout(1.0)
+        env.run()
+        assert env.events_processed == 5
+
+
+class TestDeterminism:
+    def test_same_program_same_timeline(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def worker(env, name, delay):
+                yield env.timeout(delay)
+                trace.append((env.now, name))
+                yield env.timeout(delay)
+                trace.append((env.now, name))
+
+            for i, d in enumerate((0.3, 0.1, 0.2)):
+                env.process(worker(env, i, d))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()
+
+    def test_fifo_tie_break_at_same_timestamp(self):
+        env = Environment()
+        order = []
+        for i in range(10):
+            ev = env.timeout(1.0, value=i)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == list(range(10))

@@ -1,0 +1,225 @@
+"""Unit tests for event primitives (trigger, fail, conditions)."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_starts_pending(self):
+        env = Environment()
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        ev = env.event().succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        ev = env.event().succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("nope"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_failed_event_value_is_exception(self):
+        env = Environment()
+        exc = RuntimeError("boom")
+        ev = env.event().fail(exc)
+        ev.defuse()
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_unhandled_failure_crashes_run(self):
+        env = Environment()
+        env.event().fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self):
+        env = Environment()
+        ev = env.event().fail(RuntimeError("handled"))
+        ev.defuse()
+        env.run()  # no raise
+
+    def test_callbacks_run_at_processing(self):
+        env = Environment()
+        seen = []
+        ev = env.event()
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == ["x"]
+        assert ev.processed
+
+    def test_trigger_copies_state_from_other_event(self):
+        env = Environment()
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered
+        assert dst.value == "payload"
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        env = Environment()
+        env.timeout(2.5)
+        env.run()
+        assert env.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_carries_value(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="done")
+            results.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert results == ["done"]
+
+    def test_zero_delay_is_valid(self):
+        env = Environment()
+        t = env.timeout(0.0)
+        env.run()
+        assert env.now == 0.0
+        assert t.processed
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+        done_at = []
+
+        def proc(env):
+            yield env.all_of([env.timeout(1.0), env.timeout(3.0), env.timeout(2.0)])
+            done_at.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done_at == [3.0]
+
+    def test_any_of_fires_at_first(self):
+        env = Environment()
+        done_at = []
+
+        def proc(env):
+            yield env.any_of([env.timeout(5.0), env.timeout(1.0)])
+            done_at.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done_at == [1.0]
+
+    def test_empty_all_of_is_immediately_met(self):
+        env = Environment()
+        cond = env.all_of([])
+        assert cond.triggered
+
+    def test_and_operator(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(1.0) & env.timeout(2.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [2.0]
+
+    def test_or_operator(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(1.0) | env.timeout(2.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [1.0]
+
+    def test_condition_value_maps_events(self):
+        env = Environment()
+        captured = {}
+
+        def proc(env):
+            a = env.timeout(1.0, value="a")
+            b = env.timeout(2.0, value="b")
+            result = yield env.all_of([a, b])
+            captured["a"] = result[a]
+            captured["b"] = result[b]
+
+        env.process(proc(env))
+        env.run()
+        assert captured == {"a": "a", "b": "b"}
+
+    def test_condition_rejects_foreign_environment(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AllOf(env1, [env1.event(), env2.event()])
+
+    def test_condition_propagates_failure(self):
+        env = Environment()
+        caught = []
+
+        def proc(env):
+            bad = env.event()
+            good = env.timeout(1.0)
+            bad.fail(RuntimeError("inner"))
+            try:
+                yield env.all_of([good, bad])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env))
+        env.run()
+        assert caught == ["inner"]
+
+    def test_anyof_with_already_processed_event(self):
+        env = Environment()
+        t = env.timeout(1.0)
+        env.run()
+        assert t.processed
+        times = []
+
+        def proc(env):
+            yield AnyOf(env, [t, env.timeout(10.0)])
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [1.0]  # already-processed event satisfies instantly

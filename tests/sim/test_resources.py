@@ -1,0 +1,242 @@
+"""Unit tests for stores, priority stores and counted resources."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityFilterStore,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+def drain(env, store, n, out, filter=None):
+    """Helper process: take n items from a store into `out`."""
+    for _ in range(n):
+        if filter is not None:
+            item = yield store.get(filter)
+        else:
+            item = yield store.get()
+        out.append(item)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+        for i in range(3):
+            store.put(i)
+        env.process(drain(env, store, 3, out))
+        env.run()
+        assert out == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def producer(env):
+            yield env.timeout(5.0)
+            store.put("item")
+
+        env.process(drain(env, store, 1, out))
+        env.process(producer(env))
+        env.run()
+        assert out == ["item"]
+        assert env.now == 5.0
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")  # blocks until consumer takes "a"
+            done.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            item = yield store.get()
+            assert item == "a"
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert done == [3.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+
+class TestFilterStore:
+    def test_filter_selects_matching_item(self):
+        env = Environment()
+        store = FilterStore(env)
+        out = []
+        for i in range(5):
+            store.put(i)
+        env.process(drain(env, store, 1, out, filter=lambda x: x % 2 == 1))
+        env.run()
+        assert out == [1]
+        assert sorted(store.items) == [0, 2, 3, 4]
+
+    def test_filter_blocks_until_match_arrives(self):
+        env = Environment()
+        store = FilterStore(env)
+        out = []
+
+        def producer(env):
+            yield env.timeout(1.0)
+            store.put("no")
+            yield env.timeout(1.0)
+            store.put("yes")
+
+        env.process(drain(env, store, 1, out, filter=lambda x: x == "yes"))
+        env.process(producer(env))
+        env.run()
+        assert out == ["yes"]
+        assert env.now == 2.0
+
+
+class TestPriorityStore:
+    def test_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        out = []
+        for key in (3, 1, 2):
+            store.put(PriorityItem(key, f"item{key}"))
+        env.process(drain(env, store, 3, out))
+        env.run()
+        assert [i.key for i in out] == [1, 2, 3]
+
+    def test_fifo_within_equal_priority(self):
+        env = Environment()
+        store = PriorityStore(env)
+        out = []
+        items = [PriorityItem(1, n) for n in ("first", "second", "third")]
+        for item in items:
+            store.put(item)
+        env.process(drain(env, store, 3, out))
+        env.run()
+        assert [i.item for i in out] == ["first", "second", "third"]
+
+    def test_same_instant_batch_is_priority_ordered(self):
+        """Puts and a waiting get at the same timestamp: the get must see
+        the whole batch, not just the first put (deferred matching)."""
+        env = Environment()
+        store = PriorityStore(env)
+        out = []
+        env.process(drain(env, store, 1, out))  # waiting consumer
+
+        def producer(env):
+            yield env.timeout(1.0)
+            store.put(PriorityItem(5, "low"))
+            store.put(PriorityItem(1, "high"))
+
+        env.process(producer(env))
+        env.run()
+        assert out[0].item == "high"
+
+
+class TestPriorityFilterStore:
+    def test_filtered_get_returns_smallest_eligible(self):
+        env = Environment()
+        store = PriorityFilterStore(env)
+        out = []
+        store.put(PriorityItem(1, ("p0", "best-but-wrong-partition")))
+        store.put(PriorityItem(2, ("p1", "eligible")))
+        store.put(PriorityItem(3, ("p1", "worse")))
+        env.process(drain(env, store, 1, out, filter=lambda i: i.item[0] == "p1"))
+        env.run()
+        assert out[0].item == ("p1", "eligible")
+        # Non-matching item must remain.
+        assert len(store) == 2
+
+    def test_unfiltered_get_ignores_partitions(self):
+        env = Environment()
+        store = PriorityFilterStore(env)
+        out = []
+        store.put(PriorityItem(2, "b"))
+        store.put(PriorityItem(1, "a"))
+        env.process(drain(env, store, 2, out))
+        env.run()
+        assert [i.item for i in out] == ["a", "b"]
+
+    def test_multiple_consumers_with_disjoint_filters(self):
+        env = Environment()
+        store = PriorityFilterStore(env)
+        got_a, got_b = [], []
+        env.process(drain(env, store, 2, got_a, filter=lambda i: i.item[0] == "a"))
+        env.process(drain(env, store, 2, got_b, filter=lambda i: i.item[0] == "b"))
+
+        def producer(env):
+            for key, tag in [(4, "a"), (3, "b"), (2, "a"), (1, "b")]:
+                store.put(PriorityItem(key, (tag, key)))
+                yield env.timeout(1.0)
+
+        env.process(producer(env))
+        env.run()
+        assert [i.item[1] for i in got_a] == [4, 2]
+        assert [i.item[1] for i in got_b] == [3, 1]
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker(env):
+            with res.request() as req:
+                yield req
+                active.append(1)
+                peak.append(len(active))
+                yield env.timeout(1.0)
+                active.pop()
+
+        for _ in range(6):
+            env.process(worker(env))
+        env.run()
+        assert max(peak) <= 2
+        assert env.now == 3.0  # 6 jobs, 2 at a time, 1s each
+
+    def test_release_is_idempotent(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def worker(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)  # second release must not underflow
+
+        env.process(worker(env))
+        env.run()
+        assert res.count == 0
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, name):
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1.0)
+
+        for i in range(4):
+            env.process(worker(env, i))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)

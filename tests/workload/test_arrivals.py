@@ -1,0 +1,82 @@
+"""Unit tests for arrival processes."""
+
+import pytest
+
+from repro.sim import Stream
+from repro.workload import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    arrival_times,
+)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        proc = PoissonArrivals(rate=100.0)
+        stream = Stream(1)
+        n = 50_000
+        total = sum(proc.next_interarrival(stream) for _ in range(n))
+        assert n / total == pytest.approx(100.0, rel=0.03)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_interarrivals_memoryless_cv(self):
+        """Exponential gaps have coefficient of variation ~ 1."""
+        proc = PoissonArrivals(rate=10.0)
+        stream = Stream(2)
+        gaps = [proc.next_interarrival(stream) for _ in range(20_000)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+        cv = var**0.5 / mean
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+
+class TestDeterministic:
+    def test_fixed_period(self):
+        proc = DeterministicArrivals(rate=4.0)
+        stream = Stream(3)
+        assert proc.next_interarrival(stream) == 0.25
+        assert proc.next_interarrival(stream) == 0.25
+
+
+class TestBursty:
+    def test_long_run_rate_matches_base(self):
+        proc = BurstyArrivals(base_rate=100.0, burst_multiplier=4.0, burst_fraction=0.2)
+        stream = Stream(4)
+        n = 100_000
+        total = sum(proc.next_interarrival(stream) for _ in range(n))
+        assert n / total == pytest.approx(100.0, rel=0.10)
+
+    def test_burstier_than_poisson(self):
+        """Gap CV must exceed 1 (the Poisson benchmark)."""
+        proc = BurstyArrivals(base_rate=100.0, burst_multiplier=8.0, burst_fraction=0.1)
+        stream = Stream(5)
+        gaps = [proc.next_interarrival(stream) for _ in range(50_000)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+        assert var**0.5 / mean > 1.05
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=0.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=1.0, burst_multiplier=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(base_rate=1.0, burst_fraction=1.5)
+
+
+class TestArrivalTimes:
+    def test_monotone_increasing(self):
+        times = arrival_times(PoissonArrivals(50.0), Stream(6), 1000)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_count_and_start(self):
+        times = arrival_times(DeterministicArrivals(1.0), Stream(7), 3, start=10.0)
+        assert times == [11.0, 12.0, 13.0]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(PoissonArrivals(1.0), Stream(8), -1)

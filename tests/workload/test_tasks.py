@@ -1,0 +1,131 @@
+"""Unit tests for tasks, the value-size registry and the generator."""
+
+import pytest
+
+from repro.sim import StreamFactory
+from repro.workload import (
+    FixedFanout,
+    FixedValueSize,
+    Operation,
+    PoissonArrivals,
+    Task,
+    TaskGenerator,
+    UniformPopularity,
+    ValueSizeRegistry,
+    atikoglu_etc,
+    trace_stats,
+)
+
+
+def make_generator(seed=1, fanout=4, n_keys=1000, n_clients=3, rate=100.0):
+    streams = StreamFactory(seed)
+    return TaskGenerator(
+        fanout=FixedFanout(fanout),
+        popularity=UniformPopularity(n_keys),
+        value_sizes=ValueSizeRegistry(atikoglu_etc(), seed=seed),
+        arrivals=PoissonArrivals(rate),
+        n_clients=n_clients,
+        streams=streams,
+    )
+
+
+class TestDataModel:
+    def test_operation_validates_size(self):
+        with pytest.raises(ValueError):
+            Operation(op_id=0, task_id=0, key=1, value_size=0)
+
+    def test_task_requires_operations(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, arrival_time=0.0, client_id=0, operations=())
+
+    def test_task_rejects_negative_arrival(self):
+        op = Operation(op_id=0, task_id=0, key=1, value_size=10)
+        with pytest.raises(ValueError):
+            Task(task_id=0, arrival_time=-1.0, client_id=0, operations=(op,))
+
+    def test_task_aggregates(self):
+        ops = tuple(
+            Operation(op_id=i, task_id=0, key=i, value_size=100) for i in range(4)
+        )
+        task = Task(task_id=0, arrival_time=1.0, client_id=0, operations=ops)
+        assert task.fanout == 4
+        assert task.total_bytes == 400
+        assert task.keys() == [0, 1, 2, 3]
+
+
+class TestValueSizeRegistry:
+    def test_consistent_per_key(self):
+        reg = ValueSizeRegistry(atikoglu_etc(), seed=42)
+        assert reg.size_of(7) == reg.size_of(7)
+
+    def test_deterministic_across_instances(self):
+        a = ValueSizeRegistry(atikoglu_etc(), seed=42)
+        b = ValueSizeRegistry(atikoglu_etc(), seed=42)
+        assert [a.size_of(k) for k in range(100)] == [b.size_of(k) for k in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = ValueSizeRegistry(atikoglu_etc(), seed=1)
+        b = ValueSizeRegistry(atikoglu_etc(), seed=2)
+        assert [a.size_of(k) for k in range(50)] != [b.size_of(k) for k in range(50)]
+
+    def test_len_counts_distinct_keys(self):
+        reg = ValueSizeRegistry(FixedValueSize(10), seed=1)
+        reg.size_of(1)
+        reg.size_of(1)
+        reg.size_of(2)
+        assert len(reg) == 2
+
+
+class TestTaskGenerator:
+    def test_ids_unique_and_sequential(self):
+        gen = make_generator()
+        tasks = gen.generate(10)
+        assert [t.task_id for t in tasks] == list(range(10))
+        op_ids = [op.op_id for t in tasks for op in t.operations]
+        assert op_ids == list(range(len(op_ids)))
+
+    def test_arrivals_increase(self):
+        tasks = make_generator().generate(100)
+        times = [t.arrival_time for t in tasks]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_clients_in_range(self):
+        tasks = make_generator(n_clients=3).generate(200)
+        assert {t.client_id for t in tasks} <= {0, 1, 2}
+
+    def test_keys_distinct_within_task(self):
+        tasks = make_generator(fanout=8).generate(100)
+        for t in tasks:
+            assert len(set(t.keys())) == t.fanout
+
+    def test_deterministic_given_seed(self):
+        t1 = make_generator(seed=5).generate(20)
+        t2 = make_generator(seed=5).generate(20)
+        assert [t.keys() for t in t1] == [t.keys() for t in t2]
+        assert [t.arrival_time for t in t1] == [t.arrival_time for t in t2]
+
+    def test_fanout_capped_by_keyspace(self):
+        gen = make_generator(fanout=100, n_keys=10)
+        task = gen.next_task()
+        assert task.fanout == 10
+
+    def test_value_sizes_consistent_across_tasks(self):
+        gen = make_generator(n_keys=5, fanout=5)
+        t1, t2 = gen.generate(2)
+        sizes1 = {op.key: op.value_size for op in t1.operations}
+        sizes2 = {op.key: op.value_size for op in t2.operations}
+        for key in set(sizes1) & set(sizes2):
+            assert sizes1[key] == sizes2[key]
+
+
+class TestTraceStats:
+    def test_stats_shape(self):
+        tasks = make_generator(fanout=4, rate=100.0).generate(200)
+        stats = trace_stats(tasks)
+        assert stats["n_tasks"] == 200
+        assert stats["mean_fanout"] == pytest.approx(4.0)
+        assert stats["task_rate"] == pytest.approx(100.0, rel=0.3)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats([])

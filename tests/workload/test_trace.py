@@ -1,0 +1,83 @@
+"""Unit tests for trace serialization (save/load round trip, errors)."""
+
+import json
+
+import pytest
+
+from repro.workload import (
+    TraceFormatError,
+    load_trace,
+    make_soundcloud_workload,
+    save_trace,
+)
+
+
+@pytest.fixture
+def small_trace():
+    workload = make_soundcloud_workload(n_tasks=50, n_keys=500)
+    return workload.generate(seed=3)
+
+
+class TestRoundTrip:
+    def test_tasks_survive_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, small_trace, metadata={"seed": 3})
+        loaded, meta = load_trace(path)
+        assert meta == {"seed": 3}
+        assert len(loaded) == len(small_trace)
+        for orig, back in zip(small_trace, loaded):
+            assert back.task_id == orig.task_id
+            assert back.arrival_time == orig.arrival_time
+            assert back.client_id == orig.client_id
+            assert [
+                (op.op_id, op.key, op.value_size) for op in back.operations
+            ] == [(op.op_id, op.key, op.value_size) for op in orig.operations]
+
+    def test_empty_metadata_default(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, small_trace)
+        _, meta = load_trace(path)
+        assert meta == {}
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_trace(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceFormatError, match="bad header"):
+            load_trace(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(TraceFormatError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "vnext.jsonl"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 999}) + "\n")
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_corrupt_task_record(self, small_trace, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"task_id": "oops"}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="bad task record"):
+            load_trace(path)
+
+    def test_count_mismatch(self, small_trace, tmp_path):
+        path = tmp_path / "short.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last task
+        with pytest.raises(TraceFormatError, match="declares"):
+            load_trace(path)

@@ -1,0 +1,54 @@
+"""Property-based round-trip test for trace serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import load_trace, save_trace
+from repro.workload.tasks import Operation, Task
+
+
+@st.composite
+def tasks_strategy(draw):
+    n_tasks = draw(st.integers(min_value=1, max_value=12))
+    tasks = []
+    op_counter = 0
+    clock = 0.0
+    for task_id in range(n_tasks):
+        clock += draw(
+            st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+        )
+        n_ops = draw(st.integers(min_value=1, max_value=8))
+        ops = []
+        for _ in range(n_ops):
+            ops.append(
+                Operation(
+                    op_id=op_counter,
+                    task_id=task_id,
+                    key=draw(st.integers(min_value=0, max_value=10**9)),
+                    value_size=draw(st.integers(min_value=1, max_value=2**20)),
+                )
+            )
+            op_counter += 1
+        tasks.append(
+            Task(
+                task_id=task_id,
+                arrival_time=clock,
+                client_id=draw(st.integers(min_value=0, max_value=63)),
+                operations=tuple(ops),
+            )
+        )
+    return tasks
+
+
+@given(tasks_strategy())
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_preserves_everything(tmp_path_factory, tasks):
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    save_trace(path, tasks, metadata={"n": len(tasks)})
+    loaded, metadata = load_trace(path)
+    assert metadata == {"n": len(tasks)}
+    assert len(loaded) == len(tasks)
+    for orig, back in zip(tasks, loaded):
+        assert back.task_id == orig.task_id
+        assert back.client_id == orig.client_id
+        assert back.arrival_time == orig.arrival_time
+        assert back.operations == orig.operations
