@@ -11,12 +11,17 @@ compaction).  Three mitigation philosophies meet the same fault:
 
 Paper connection: BRB "complements" mitigation approaches (i)-(iii) of its
 Section 1; this bench quantifies the complement on a concrete straggler.
+
+The fault shape is the registered ``straggler`` scenario (one server 4x
+slower in recurring windows), so the bench, the CLI and ad-hoc scripts all
+measure the same thing.
 """
 
 from conftest import bench_scale, save_report
 
 from repro.analysis import render_table, slo_attainment
-from repro.harness import ExperimentConfig, run_experiment
+from repro.harness import run_experiment
+from repro.scenarios import get_scenario
 
 STRATEGIES = ("oblivious-random", "c3", "hedged", "unifincr-credits")
 
@@ -24,16 +29,9 @@ STRATEGIES = ("oblivious-random", "c3", "hedged", "unifincr-credits")
 def run_ablation(n_tasks, seed):
     rows = []
     raw = {}
+    scenario = get_scenario("straggler")
     for strategy in STRATEGIES:
-        cfg = ExperimentConfig(
-            strategy=strategy,
-            n_tasks=n_tasks,
-            slowdown_server=0,
-            slowdown_factor=4.0,
-            slowdown_start=0.05,
-            slowdown_duration=0.1,
-            slowdown_period=0.25,
-        )
+        cfg = scenario.build_config(strategy=strategy, n_tasks=n_tasks)
         result = run_experiment(cfg, seed=seed)
         summary = result.summary((50.0, 95.0, 99.0))
         values = result.task_latencies.values()

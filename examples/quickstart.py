@@ -6,7 +6,10 @@ Usage::
     python examples/quickstart.py [strategy] [n_tasks]
 
 Strategies: c3, equalmax-credits, unifincr-credits, equalmax-model,
-unifincr-model, oblivious-lor, ... (see repro.harness.KNOWN_STRATEGIES).
+unifincr-model, oblivious-lor, ... -- ``repro.harness.KNOWN_STRATEGIES``
+is a live view of the builder registry; ``python -m repro strategies``
+lists them with descriptions.  For named workloads with fault scripts see
+``python -m repro scenarios`` and ``examples/scenario_tour.py``.
 """
 
 import sys

@@ -15,8 +15,10 @@ The package is layered bottom-up:
 * :mod:`repro.core` -- the paper's contribution: task-aware splitting,
   EqualMax / UnifIncr priorities, the credits realization and the ideal
   global-queue model.
-* :mod:`repro.harness` / :mod:`repro.analysis` -- experiment runner,
-  aggregation and report rendering.
+* :mod:`repro.harness` / :mod:`repro.analysis` -- experiment configs, the
+  strategy-builder registry, runner, aggregation and report rendering.
+* :mod:`repro.scenarios` -- named workload scenarios composing config
+  overrides with scripted fault schedules.
 
 Quickstart::
 
@@ -28,7 +30,18 @@ Quickstart::
     print(result.summary((50.0, 95.0, 99.0)))
 """
 
-from . import analysis, baselines, cluster, core, harness, metrics, scheduling, sim, workload
+from . import (
+    analysis,
+    baselines,
+    cluster,
+    core,
+    harness,
+    metrics,
+    scenarios,
+    scheduling,
+    sim,
+    workload,
+)
 from .harness import (
     ExperimentConfig,
     figure1_toy,
@@ -52,6 +65,7 @@ __all__ = [
     "metrics",
     "run_experiment",
     "run_seeds",
+    "scenarios",
     "scheduling",
     "sim",
     "workload",

@@ -2,11 +2,12 @@
 
 Commands
 --------
-``run``        run one experiment and print a percentile summary
+``run``        run one experiment (optionally a named scenario)
 ``figure1``    the paper's toy example (deterministic)
 ``figure2``    the headline evaluation across strategies and seeds
 ``trace``      generate / inspect workload traces
-``strategies`` list the strategy names the runner understands
+``strategies`` list the registered strategy builders
+``scenarios``  list the registered workload scenarios
 """
 
 from __future__ import annotations
@@ -23,33 +24,49 @@ from .harness import (
     figure1_toy,
     figure2,
     figure2_series,
+    get_builder,
     run_experiment,
 )
 from .metrics import PAPER_PERCENTILES
+from .scenarios import SCENARIOS, get_scenario, scenario_names
 from .workload import load_trace, make_soundcloud_workload, save_trace, trace_stats
 
 
 def _add_run(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser("run", help="run a single experiment")
     p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
+    p.add_argument("--scenario", default=None, choices=scenario_names(),
+                   help="run a named scenario (workload + fault schedule)")
     p.add_argument("--tasks", type=int, default=5000)
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--load", type=float, default=0.70)
-    p.add_argument("--fanout", type=float, default=8.6)
-    p.add_argument("--slow-server", type=int, default=-1,
+    p.add_argument("--load", type=float, default=None,
+                   help="offered load as a fraction of capacity")
+    p.add_argument("--fanout", type=float, default=None,
+                   help="mean requests per task")
+    p.add_argument("--slow-server", type=int, default=None,
                    help="inject a 3x slowdown on this server id")
     p.set_defaults(func=_cmd_run)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        strategy=args.strategy,
-        n_tasks=args.tasks,
-        load=args.load,
-        mean_fanout=args.fanout,
-        slowdown_server=args.slow_server,
-    )
+    overrides: _t.Dict[str, _t.Any] = {}
+    if args.load is not None:
+        overrides["load"] = args.load
+    if args.fanout is not None:
+        overrides["mean_fanout"] = args.fanout
+    if args.slow_server is not None:
+        overrides["slowdown_server"] = args.slow_server
+    if args.scenario is not None:
+        config = get_scenario(args.scenario).build_config(
+            strategy=args.strategy, n_tasks=args.tasks, **overrides
+        )
+    else:
+        config = ExperimentConfig(
+            strategy=args.strategy, n_tasks=args.tasks, **overrides
+        )
     print(f"running {config.describe()} (seed {args.seed})")
+    for line in config.faults().describe():
+        print(f"  fault: {line}")
     result = run_experiment(config, seed=args.seed)
     print(result.summary((50.0, 90.0, 95.0, 99.0, 99.9)))
     rows = [{"metric": k, "value": v} for k, v in sorted(result.extras.items())]
@@ -133,24 +150,45 @@ def _cmd_trace_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace_stats(args: argparse.Namespace) -> int:
-    tasks, metadata = load_trace(args.path)
-    print(f"metadata: {metadata}")
-    rows = [{"metric": k, "value": v} for k, v in trace_stats(tasks).items()]
-    print(render_table(rows))
-    return 0
-
-
 def _add_strategies(subparsers: argparse._SubParsersAction) -> None:
-    p = subparsers.add_parser("strategies", help="list known strategies")
+    p = subparsers.add_parser("strategies", help="list registered strategies")
     p.set_defaults(func=_cmd_strategies)
 
 
 def _cmd_strategies(args: argparse.Namespace) -> int:
     for name in KNOWN_STRATEGIES:
         marker = "*" if name in FIGURE2_STRATEGIES else " "
-        print(f" {marker} {name}")
+        description = get_builder(name).description
+        print(f" {marker} {name:20s} {description}")
     print("\n * = plotted in the paper's Figure 2")
+    return 0
+
+
+def _add_scenarios(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser("scenarios", help="list registered scenarios")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="show overrides and fault schedules")
+    p.set_defaults(func=_cmd_scenarios)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    for name in SCENARIOS:
+        spec = SCENARIOS[name]
+        if args.verbose:
+            print(spec.describe())
+        else:
+            faults = len(spec.faults)
+            tag = f" ({faults} fault event{'s' if faults != 1 else ''})" if faults else ""
+            print(f"  {name:24s} {spec.summary}{tag}")
+    print("\nrun one with: python -m repro run --scenario <name>")
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    tasks, metadata = load_trace(args.path)
+    print(f"metadata: {metadata}")
+    rows = [{"metric": k, "value": v} for k, v in trace_stats(tasks).items()]
+    print(render_table(rows))
     return 0
 
 
@@ -165,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_figure2(subparsers)
     _add_trace(subparsers)
     _add_strategies(subparsers)
+    _add_scenarios(subparsers)
     return parser
 
 

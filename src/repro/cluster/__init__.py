@@ -1,7 +1,17 @@
 """Cluster substrate: servers, clients, network, partitioning, messages."""
 
 from .client import Client, DispatchStrategy
-from .faults import SlowdownInjector
+from .faults import (
+    CrashFault,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FlashCrowdFault,
+    NO_FAULTS,
+    NetworkJitterFault,
+    SlowdownFault,
+    SlowdownInjector,
+)
 from .messages import (
     CongestionSignal,
     CreditGrant,
@@ -41,12 +51,19 @@ __all__ = [
     "CongestionSignal",
     "ConsistentHashRing",
     "ConstantLatency",
+    "CrashFault",
     "CreditGrant",
     "DemandReport",
     "DispatchStrategy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FlashCrowdFault",
     "JitteredLatency",
     "LatencyModel",
+    "NO_FAULTS",
     "Network",
+    "NetworkJitterFault",
     "PAPER_CLUSTER",
     "PAPER_ONE_WAY_LATENCY",
     "Placement",
@@ -55,6 +72,7 @@ __all__ = [
     "ResponseMessage",
     "RingPlacement",
     "ServerFeedback",
+    "SlowdownFault",
     "SlowdownInjector",
     "TaskCompletion",
     "client_address",

@@ -1,25 +1,336 @@
-"""Fault injection: transient server slowdowns.
+"""Fault injection: scripted schedules of typed fault events.
 
 Tail-latency papers live and die by stragglers, so the substrate can make
-them on demand: a :class:`SlowdownInjector` multiplies one server's
-service times by a factor for a window (background compaction, GC pause,
-noisy neighbour).  Used by the straggler ablation to compare how C3's
-adaptive ranking, hedging and BRB's scheduling each absorb a degraded
-replica.
+them on demand.  The original substrate offered a single
+:class:`SlowdownInjector` (kept, unchanged, for direct use); experiments
+now describe faults declaratively as a :class:`FaultSchedule` -- an ordered
+script of typed, frozen fault events that may overlap and target several
+servers at once:
+
+* :class:`SlowdownFault` -- multiply the service times of one or more
+  servers for a window (GC pause, background compaction, noisy neighbour).
+  Overlapping slowdowns compose multiplicatively.
+* :class:`CrashFault` -- pause one or more servers for a window: their
+  cores stop starting new requests; queued work is retained and resumes on
+  restart, so no tasks are lost (a process freeze / VM stall, not a disk
+  wipe).  In-flight service at the instant of the crash is allowed to
+  finish -- the approximation errs toward optimism by at most one request
+  per core.
+* :class:`NetworkJitterFault` -- degrade the whole network's one-way
+  latency (mean multiplied, log-normal jitter) for a window.  Overlapping
+  windows: the most recent onset wins; the base model returns when the
+  last window closes.
+* :class:`FlashCrowdFault` -- multiply the client arrival rate for a
+  window (load step / flash crowd).  Overlapping crowds compose
+  multiplicatively.  The runner's feeder consults
+  :meth:`FaultInjector.arrival_scale` to compress inter-arrival gaps.
+
+Every event supports a delayed ``start``, a ``duration`` (``inf`` makes the
+condition permanent -- heterogeneous clusters) and an optional ``period``
+for recurring windows.  A :class:`FaultInjector` executes a schedule
+against live servers and the network.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import typing as _t
 
 from ..sim.engine import Environment
+from .network import JitteredLatency, Network
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from .server import _ServerBase
 
 
+def _validate_window(
+    start: float, duration: float, period: _t.Optional[float]
+) -> None:
+    if start < 0:
+        raise ValueError("start must be non-negative")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if period is not None:
+        if math.isinf(duration):
+            raise ValueError("a permanent fault cannot recur")
+        if period <= duration:
+            raise ValueError("period must exceed duration")
+
+
+def _as_server_tuple(servers: _t.Union[int, _t.Iterable[int]]) -> _t.Tuple[int, ...]:
+    if isinstance(servers, int):
+        return (servers,)
+    return tuple(int(s) for s in servers)
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowdownFault:
+    """Multiply service times of ``servers`` by ``factor`` for a window."""
+
+    kind: _t.ClassVar[str] = "slowdown"
+
+    servers: _t.Tuple[int, ...] = (0,)
+    factor: float = 3.0
+    start: float = 0.0
+    duration: float = 0.5
+    period: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", _as_server_tuple(self.servers))
+        if not self.servers:
+            raise ValueError("slowdown fault targets no servers")
+        if self.factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1")
+        _validate_window(self.start, self.duration, self.period)
+
+    def describe(self) -> str:
+        return (
+            f"slowdown x{self.factor:g} on servers {list(self.servers)} "
+            f"@{self.start:g}s for {self.duration:g}s"
+            + (f" every {self.period:g}s" if self.period is not None else "")
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashFault:
+    """Pause ``servers`` for a window; queued work survives the restart."""
+
+    kind: _t.ClassVar[str] = "crash"
+
+    servers: _t.Tuple[int, ...] = (0,)
+    start: float = 0.0
+    duration: float = 0.1
+    period: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", _as_server_tuple(self.servers))
+        if not self.servers:
+            raise ValueError("crash fault targets no servers")
+        if math.isinf(self.duration):
+            raise ValueError("a crash must restart (finite duration)")
+        _validate_window(self.start, self.duration, self.period)
+
+    def describe(self) -> str:
+        return (
+            f"crash/restart of servers {list(self.servers)} "
+            f"@{self.start:g}s down for {self.duration:g}s"
+            + (f" every {self.period:g}s" if self.period is not None else "")
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkJitterFault:
+    """Degrade the network: mean one-way latency x ``factor``, jittered."""
+
+    kind: _t.ClassVar[str] = "network-jitter"
+
+    factor: float = 4.0
+    sigma: float = 0.3
+    start: float = 0.0
+    duration: float = 0.2
+    period: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise ValueError("jitter factor must exceed 1")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if math.isinf(self.duration):
+            raise ValueError("permanent jitter belongs in the cluster spec")
+        _validate_window(self.start, self.duration, self.period)
+
+    def describe(self) -> str:
+        return (
+            f"network latency x{self.factor:g} (sigma={self.sigma:g}) "
+            f"@{self.start:g}s for {self.duration:g}s"
+            + (f" every {self.period:g}s" if self.period is not None else "")
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashCrowdFault:
+    """Multiply the task arrival rate by ``multiplier`` for a window."""
+
+    kind: _t.ClassVar[str] = "flash-crowd"
+
+    multiplier: float = 2.0
+    start: float = 0.0
+    duration: float = 0.3
+    period: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 1.0:
+            raise ValueError("flash-crowd multiplier must exceed 1")
+        if math.isinf(self.duration):
+            raise ValueError("a permanent load change belongs in the config")
+        _validate_window(self.start, self.duration, self.period)
+
+    def describe(self) -> str:
+        return (
+            f"flash crowd x{self.multiplier:g} arrivals "
+            f"@{self.start:g}s for {self.duration:g}s"
+            + (f" every {self.period:g}s" if self.period is not None else "")
+        )
+
+
+#: Any scriptable fault event.
+FaultEvent = _t.Union[SlowdownFault, CrashFault, NetworkJitterFault, FlashCrowdFault]
+
+_EVENT_TYPES: _t.Tuple[type, ...] = (
+    SlowdownFault,
+    CrashFault,
+    NetworkJitterFault,
+    FlashCrowdFault,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable script of fault events (may overlap)."""
+
+    events: _t.Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise TypeError(f"not a fault event: {event!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self.events + other.events)
+
+    def validate_targets(self, n_servers: int) -> None:
+        """Raise if any event targets a server id outside [0, n_servers)."""
+        for event in self.events:
+            for server_id in getattr(event, "servers", ()):
+                if not (0 <= server_id < n_servers):
+                    raise ValueError(
+                        f"fault {event.describe()!r} targets server "
+                        f"{server_id}, valid ids are 0..{n_servers - 1}"
+                    )
+
+    def describe(self) -> _t.List[str]:
+        return [event.describe() for event in self.events]
+
+
+#: The empty schedule (module-level singleton for defaults).
+NO_FAULTS = FaultSchedule()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against live servers and network.
+
+    One simulation process per event drives its (possibly recurring)
+    windows.  Exposes ``windows`` counters per fault kind for the runner's
+    audit extras and :meth:`arrival_scale` for the workload feeder.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        schedule: FaultSchedule,
+        servers: _t.Sequence["_ServerBase"],
+        network: _t.Optional[Network] = None,
+    ) -> None:
+        schedule.validate_targets(len(servers))
+        if network is None and any(
+            isinstance(event, NetworkJitterFault) for event in schedule.events
+        ):
+            raise ValueError("network-jitter faults need a network to degrade")
+        self.env = env
+        self.schedule = schedule
+        self.servers = list(servers)
+        self.network = network
+        #: Windows opened so far, per fault kind present in the schedule
+        #: (kinds appear with count 0 until their first window opens).
+        self.windows: _t.Dict[str, int] = {
+            event.kind: 0 for event in schedule.events
+        }
+        self._crowd_scale = 1.0
+        self._jitter_depth = 0
+        self._base_latency = network.latency if network is not None else None
+        for index, event in enumerate(schedule.events):
+            env.process(
+                self._drive(event),
+                name=f"fault.{event.kind}.{index}",
+            )
+
+    # -- feeder hook ----------------------------------------------------------
+    def arrival_scale(self) -> float:
+        """Current arrival-rate multiplier (product of active crowds)."""
+        return self._crowd_scale
+
+    # -- window machinery -------------------------------------------------------
+    def _drive(self, event: FaultEvent) -> _t.Generator:
+        if event.start > 0:
+            yield self.env.timeout(event.start)
+        while True:
+            self._apply(event)
+            self.windows[event.kind] = self.windows.get(event.kind, 0) + 1
+            if math.isinf(event.duration):
+                return  # permanent condition, never reverted
+            yield self.env.timeout(event.duration)
+            self._revert(event)
+            if event.period is None:
+                return
+            yield self.env.timeout(event.period - event.duration)
+
+    def _apply(self, event: FaultEvent) -> None:
+        if isinstance(event, SlowdownFault):
+            for server_id in event.servers:
+                self.servers[server_id].speed_factor *= event.factor
+        elif isinstance(event, CrashFault):
+            for server_id in event.servers:
+                self.servers[server_id].pause()
+        elif isinstance(event, NetworkJitterFault):
+            assert self.network is not None  # enforced at construction
+            self._jitter_depth += 1
+            assert self._base_latency is not None
+            # Ideal zero-latency rigs still get *some* degraded latency.
+            mean = max(self._base_latency.mean() * event.factor, 1e-6)
+            self.network.latency = JitteredLatency(
+                mean=mean, sigma=event.sigma, floor=min(10e-6, mean)
+            )
+        elif isinstance(event, FlashCrowdFault):
+            self._crowd_scale *= event.multiplier
+
+    def _revert(self, event: FaultEvent) -> None:
+        if isinstance(event, SlowdownFault):
+            for server_id in event.servers:
+                self.servers[server_id].speed_factor /= event.factor
+        elif isinstance(event, CrashFault):
+            for server_id in event.servers:
+                self.servers[server_id].resume()
+        elif isinstance(event, NetworkJitterFault):
+            self._jitter_depth -= 1
+            if self._jitter_depth == 0 and self.network is not None:
+                assert self._base_latency is not None
+                self.network.latency = self._base_latency
+        elif isinstance(event, FlashCrowdFault):
+            self._crowd_scale /= event.multiplier
+
+    # -- reporting ---------------------------------------------------------------
+    def extras(self) -> _t.Dict[str, float]:
+        """Audit counters, keyed ``<kind>_windows`` (kind dashes -> underscores)."""
+        return {
+            f"{kind.replace('-', '_')}_windows": float(count)
+            for kind, count in sorted(self.windows.items())
+        }
+
+
 class SlowdownInjector:
-    """Periodically degrades a server's service rate.
+    """Periodically degrades a server's service rate (legacy single fault).
+
+    Retained for direct, imperative use in tests and small rigs; scripted
+    experiments should prefer a :class:`FaultSchedule` with one
+    :class:`SlowdownFault`.
 
     Parameters
     ----------

@@ -75,6 +75,12 @@ class _ServerBase:
         self.busy_time = 0.0
         #: Service-time multiplier; >1 while a fault injector degrades us.
         self.speed_factor = 1.0
+        #: Crash/restart windows survived so far.
+        self.crashes = 0
+        #: Open crash windows (overlapping crash faults nest).
+        self._pause_depth = 0
+        #: Resume event while paused (crashed); ``None`` when healthy.
+        self._resume: _t.Optional[_t.Any] = None
         self._ewma_service = EwmaEstimator(ewma_time_constant, initial=0.0)
         #: Arrival-rate tracker for congestion detection (credits strategy).
         self.arrival_rate = WindowedRate(window=0.1)
@@ -82,6 +88,36 @@ class _ServerBase:
     # -- to be provided by subclasses ---------------------------------------
     def queue_length(self) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # -- crash/restart ---------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        """True while a crash fault holds the server down."""
+        return self._resume is not None
+
+    def pause(self) -> None:
+        """Crash: cores stop starting new requests; queued work survives.
+
+        Requests already in service are allowed to finish (the freeze is
+        between requests, not mid-request); everything queued is retained
+        and served after :meth:`resume`, so tasks are conserved.
+        Overlapping crash windows nest: the server runs again only once
+        every window has been resumed.
+        """
+        self._pause_depth += 1
+        self.crashes += 1
+        if self._resume is None:
+            self._resume = self.env.event()
+
+    def resume(self) -> None:
+        """Restart after a crash: cores pick the retained queue back up."""
+        if self._pause_depth == 0:
+            return
+        self._pause_depth -= 1
+        if self._pause_depth == 0 and self._resume is not None:
+            event = self._resume
+            self._resume = None
+            event.succeed(None)
 
     # -- service path ---------------------------------------------------------
     def feedback(self) -> ServerFeedback:
@@ -192,6 +228,8 @@ class BackendServer(_ServerBase):
     def _core_loop(self) -> _t.Generator:
         while True:
             item = yield self._store.get()
+            while self._resume is not None:  # crashed: hold work until restart
+                yield self._resume
             request = _t.cast(RequestMessage, _t.cast(PriorityItem, item).item)
             self.in_service += 1
             yield from self._serve(request)
@@ -271,6 +309,8 @@ class PullServer(_ServerBase):
     def _core_loop(self) -> _t.Generator:
         while True:
             item = yield self.global_queue.get(self._accepts)
+            while self._resume is not None:  # crashed: hold work until restart
+                yield self._resume
             request = _t.cast(RequestMessage, _t.cast(PriorityItem, item).item)
             request.enqueued_at = (
                 request.enqueued_at if request.enqueued_at >= 0 else self.env.now

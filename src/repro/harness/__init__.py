@@ -1,9 +1,17 @@
-"""Experiment harness: configs, runner, aggregation, figure regeneration."""
+"""Experiment harness: configs, builders, runner, aggregation, figures."""
 
+from .builders import (
+    ClusterContext,
+    KNOWN_STRATEGIES,
+    StrategyBuilder,
+    get_builder,
+    register_strategy,
+    strategy_names,
+    unregister_strategy,
+)
 from .config import (
     ExperimentConfig,
     FIGURE2_STRATEGIES,
-    KNOWN_STRATEGIES,
     paper_figure2_config,
 )
 from .figures import Figure1Result, figure1_toy, figure2, figure2_series
@@ -12,20 +20,26 @@ from .runner import RunResult, run_experiment, run_seeds
 from .sweep import SweepResult, sweep
 
 __all__ = [
+    "ClusterContext",
     "ComparisonResult",
     "ExperimentConfig",
     "FIGURE2_STRATEGIES",
     "Figure1Result",
     "KNOWN_STRATEGIES",
     "RunResult",
+    "StrategyBuilder",
     "StrategyResult",
     "SweepResult",
     "compare_strategies",
     "figure1_toy",
     "figure2",
     "figure2_series",
+    "get_builder",
     "paper_figure2_config",
+    "register_strategy",
     "run_experiment",
     "run_seeds",
+    "strategy_names",
     "sweep",
+    "unregister_strategy",
 ]

@@ -1,0 +1,416 @@
+"""Strategy builders: the pluggable registry behind the experiment runner.
+
+Each scheduling strategy under evaluation (C3, the BRB credits/model
+realizations, the oblivious and hedging baselines, ...) is a registered
+:class:`StrategyBuilder`.  A builder knows how to construct the pieces that
+differ between strategies -- shared machinery (credits controller, global
+queue), per-client dispatch strategies, per-server execution engines -- all
+from one :class:`ClusterContext` that carries the experiment-wide
+substrate.  The runner is strategy-agnostic: it resolves the config's
+strategy name through :func:`get_builder` and asks the builder for parts.
+
+Third-party strategies plug in without touching the harness::
+
+    from repro.harness.builders import StrategyBuilder, register_strategy
+
+    class MyBuilder(StrategyBuilder):
+        name = "my-strategy"
+        def build_client_strategy(self, ctx, client_id):
+            return MyDispatchStrategy(ctx.placement, ctx.service_model)
+
+    register_strategy(MyBuilder())
+
+``KNOWN_STRATEGIES`` (re-exported by :mod:`repro.harness.config`) is a live
+view of this registry, so a registered strategy is immediately accepted by
+:class:`~repro.harness.config.ExperimentConfig`, the CLI and the sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..baselines.c3 import C3Selector
+from ..baselines.hedging import HedgedStrategy
+from ..baselines.selectors import make_selector
+from ..baselines.strategies import ObliviousStrategy
+from ..cluster.client import Client, DispatchStrategy
+from ..cluster.network import Network
+from ..cluster.partitioner import Placement
+from ..cluster.server import BackendServer, PullServer
+from ..core.brb_client import BRBCreditsStrategy, BRBModelStrategy
+from ..core.credits import CreditGate, CreditsController, equal_initial_shares
+from ..core.model_queue import GlobalQueue
+from ..core.priorities import make_assigner
+from ..metrics.counters import MetricRegistry
+from ..scheduling.disciplines import (
+    Discipline,
+    EdfDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+)
+from ..sim.engine import Environment
+from ..sim.rng import StreamFactory
+from ..workload.calibration import ServiceTimeModel
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .config import ExperimentConfig
+
+
+@dataclasses.dataclass
+class ClusterContext:
+    """Everything a builder needs: the experiment-wide substrate.
+
+    ``shared`` is the builder's scratch space: :meth:`StrategyBuilder.
+    build_shared` populates it (controller, global queue, gates, ...) and
+    the later build hooks and :meth:`StrategyBuilder.collect_extras` read
+    it back.
+    """
+
+    config: "ExperimentConfig"
+    env: Environment
+    network: Network
+    placement: Placement
+    service_model: ServiceTimeModel
+    streams: StreamFactory
+    metrics: MetricRegistry
+    shared: _t.Dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+
+class StrategyBuilder:
+    """One registered strategy: how to assemble its clients and servers.
+
+    Subclasses override the hooks they need; the defaults give the
+    task-oblivious shape (FIFO push servers, no shared machinery, no
+    extra audit counters).
+    """
+
+    #: Registry key; must be unique.
+    name: str = "abstract"
+    #: One-line description for ``repro strategies``.
+    description: str = ""
+
+    # -- shared machinery -----------------------------------------------------
+    def build_shared(self, ctx: ClusterContext) -> None:
+        """Create strategy-wide machinery into ``ctx.shared`` (optional)."""
+
+    # -- per-client ---------------------------------------------------------------
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- per-server ---------------------------------------------------------------
+    def server_discipline(self, ctx: ClusterContext) -> Discipline:
+        return FifoDiscipline()
+
+    def congestion_interval(self, ctx: ClusterContext) -> _t.Optional[float]:
+        """Congestion-monitor period for push servers (None disables)."""
+        return None
+
+    def build_server(self, ctx: ClusterContext, server_id: int) -> _t.Any:
+        return BackendServer(
+            ctx.env,
+            server_id=server_id,
+            cores=ctx.config.cluster.cores_per_server,
+            service_model=ctx.service_model,
+            network=ctx.network,
+            service_stream=ctx.streams.stream(f"service.{server_id}"),
+            discipline=self.server_discipline(ctx),
+            metrics=ctx.metrics,
+            congestion_interval=self.congestion_interval(ctx),
+        )
+
+    # -- audit -----------------------------------------------------------------
+    def collect_extras(
+        self,
+        ctx: ClusterContext,
+        clients: _t.Sequence[Client],
+        servers: _t.Sequence[_t.Any],
+    ) -> _t.Dict[str, float]:
+        """Strategy-specific audit counters for ``RunResult.extras``."""
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: _t.Dict[str, StrategyBuilder] = {}
+
+
+def register_strategy(
+    builder: StrategyBuilder, replace: bool = False
+) -> StrategyBuilder:
+    """Add a builder to the registry (its ``name`` becomes the key)."""
+    name = builder.name
+    if not name or name == "abstract":
+        raise ValueError("builder needs a concrete name")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"strategy {name!r} already registered")
+    _REGISTRY[name] = builder
+    return builder
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a builder (mainly for tests of third-party registration)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_builder(name: str) -> StrategyBuilder:
+    """Resolve a strategy name, with a helpful error on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {tuple(_REGISTRY)}"
+        ) from None
+
+
+def strategy_names() -> _t.Tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+class _KnownStrategies(_t.Sequence[str]):
+    """Live, read-only view of the registry's names.
+
+    Exposed as ``KNOWN_STRATEGIES``: iterating, ``in`` checks, indexing and
+    ``len`` always reflect the current registry, so strategies registered
+    by third-party code are picked up by config validation and the CLI
+    without editing this package.
+    """
+
+    def __iter__(self) -> _t.Iterator[str]:
+        return iter(tuple(_REGISTRY))
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return tuple(_REGISTRY)[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list)):
+            return tuple(_REGISTRY) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - view, not a dict key
+        return hash(tuple(_REGISTRY))
+
+    def __repr__(self) -> str:
+        return repr(tuple(_REGISTRY))
+
+
+#: Live view of every registered strategy name.
+KNOWN_STRATEGIES: _t.Sequence[str] = _KnownStrategies()
+
+
+# ---------------------------------------------------------------------------
+# Built-in builders
+# ---------------------------------------------------------------------------
+
+
+class C3Builder(StrategyBuilder):
+    """Task-oblivious dispatch with C3 replica ranking (the paper's rival)."""
+
+    def __init__(self, name: str, rate_control: bool) -> None:
+        self.name = name
+        self.rate_control = rate_control
+        self.description = (
+            "C3 replica selection"
+            + (" with cubic rate control" if rate_control else ", ranking only")
+        )
+
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        selector = C3Selector(
+            ctx.env,
+            concurrency_weight=ctx.config.n_clients,
+            stream=ctx.streams.stream(f"c3.tiebreak.{client_id}"),
+            rate_control=self.rate_control,
+            # Start at the per-client fair share of one server so the
+            # cubic controller explores around the right operating point.
+            initial_rate=ctx.config.cluster.server_capacity() / ctx.config.n_clients,
+        )
+        return ObliviousStrategy(ctx.placement, selector, ctx.service_model)
+
+
+class ObliviousBuilder(StrategyBuilder):
+    """Task-oblivious dispatch with a simple replica selector."""
+
+    def __init__(self, name: str, selector_kind: str) -> None:
+        self.name = name
+        self.selector_kind = selector_kind
+        self.description = f"task-oblivious, {selector_kind} replica selection"
+
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        selector = make_selector(
+            self.selector_kind, stream=ctx.streams.stream(f"selector.{client_id}")
+        )
+        return ObliviousStrategy(ctx.placement, selector, ctx.service_model)
+
+
+class HedgedBuilder(StrategyBuilder):
+    """Hedged requests: duplicate laggards to a second replica."""
+
+    name = "hedged"
+    description = "hedged requests (duplicate after a fixed delay)"
+
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        selector = make_selector(
+            "least-outstanding", stream=ctx.streams.stream(f"selector.{client_id}")
+        )
+        return HedgedStrategy(
+            ctx.placement,
+            selector,
+            ctx.service_model,
+            hedge_delay=ctx.config.hedge_delay,
+        )
+
+    def collect_extras(self, ctx, clients, servers):
+        return {
+            "hedges_sent": float(sum(c.strategy.hedges_sent for c in clients)),
+            "wasted_responses": float(
+                sum(c.strategy.wasted_responses for c in clients)
+            ),
+        }
+
+
+class CreditsBuilder(StrategyBuilder):
+    """BRB's distributed realization: credit gates + priority servers."""
+
+    def __init__(self, assigner_name: str) -> None:
+        self.assigner_name = assigner_name
+        self.name = f"{assigner_name}-credits"
+        self.description = f"BRB credits realization, {assigner_name} priorities"
+
+    def build_shared(self, ctx: ClusterContext) -> None:
+        ctx.shared["controller"] = CreditsController(
+            ctx.env,
+            ctx.network,
+            n_clients=ctx.config.n_clients,
+            server_capacities=ctx.config.cluster.server_capacities(),
+            epoch=ctx.config.credits_epoch,
+            allocation_interval=ctx.config.credits_measurement_interval,
+            metrics=ctx.metrics,
+        )
+        ctx.shared["gates"] = []
+
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        config = ctx.config
+        assigner = make_assigner(self.assigner_name)
+        gate = CreditGate(
+            ctx.env,
+            ctx.network,
+            client_id=client_id,
+            server_ids=list(range(config.cluster.n_servers)),
+            epoch=config.credits_epoch,
+            measurement_interval=config.credits_measurement_interval,
+            initial_share=equal_initial_shares(
+                config.cluster.server_capacities(),
+                config.n_clients,
+                config.credits_measurement_interval,
+            ),
+        )
+        ctx.shared["gates"].append(gate)
+        return BRBCreditsStrategy(
+            ctx.placement, assigner, ctx.service_model, gate=gate
+        )
+
+    def server_discipline(self, ctx: ClusterContext) -> Discipline:
+        if self.assigner_name == "edf":
+            return EdfDiscipline()
+        return PriorityDiscipline()
+
+    def congestion_interval(self, ctx: ClusterContext) -> _t.Optional[float]:
+        return ctx.config.congestion_check_interval
+
+    def collect_extras(self, ctx, clients, servers):
+        controller: CreditsController = ctx.shared["controller"]
+        return {
+            "congestion_signals": float(controller.congestion_signals),
+            "credit_grants": float(controller.grants_sent),
+            "gated_requests": float(
+                sum(g.gated for g in ctx.shared.get("gates", []))
+            ),
+        }
+
+
+class ModelBuilder(StrategyBuilder):
+    """BRB's unrealizable ideal: one global priority queue, work-pulling."""
+
+    def __init__(self, assigner_name: str) -> None:
+        self.assigner_name = assigner_name
+        self.name = f"{assigner_name}-model"
+        self.description = f"BRB ideal global-queue model, {assigner_name} priorities"
+
+    def build_shared(self, ctx: ClusterContext) -> None:
+        ctx.shared["global_queue"] = GlobalQueue(
+            ctx.env,
+            latency=ctx.config.cluster.make_latency_model(),
+            stream=ctx.streams.stream("model.submit-latency"),
+        )
+
+    def build_client_strategy(
+        self, ctx: ClusterContext, client_id: int
+    ) -> DispatchStrategy:
+        assigner = make_assigner(self.assigner_name)
+        return BRBModelStrategy(
+            ctx.placement,
+            assigner,
+            ctx.service_model,
+            global_queue=ctx.shared["global_queue"],
+        )
+
+    def build_server(self, ctx: ClusterContext, server_id: int) -> _t.Any:
+        return PullServer(
+            ctx.env,
+            server_id=server_id,
+            cores=ctx.config.cluster.cores_per_server,
+            service_model=ctx.service_model,
+            network=ctx.network,
+            service_stream=ctx.streams.stream(f"service.{server_id}"),
+            global_queue=ctx.shared["global_queue"].store,
+            partitions=ctx.placement.partitions_of_server(server_id),
+            metrics=ctx.metrics,
+        )
+
+    def collect_extras(self, ctx, clients, servers):
+        return {
+            "global_queue_submitted": float(ctx.shared["global_queue"].submitted)
+        }
+
+
+def _register_builtins() -> None:
+    # Paper's Figure 2 series first, then the ablation strategies: the
+    # registration order is the display order everywhere.
+    register_strategy(C3Builder("c3", rate_control=True))
+    for assigner in ("equalmax", "unifincr"):
+        register_strategy(CreditsBuilder(assigner))
+        register_strategy(ModelBuilder(assigner))
+    for name, kind in (
+        ("oblivious-random", "random"),
+        ("oblivious-rr", "round-robin"),
+        ("oblivious-lor", "least-outstanding"),
+    ):
+        register_strategy(ObliviousBuilder(name, kind))
+    register_strategy(C3Builder("c3-norate", rate_control=False))
+    for assigner in ("fifo", "sjf", "edf"):
+        register_strategy(CreditsBuilder(assigner))
+    register_strategy(ModelBuilder("fifo"))
+    register_strategy(ModelBuilder("sjf"))
+    register_strategy(HedgedBuilder())
+
+
+_register_builtins()

@@ -4,6 +4,14 @@ An :class:`ExperimentConfig` fully determines a simulation run together
 with a seed.  The defaults are the paper's Section 2.2 setup with the task
 count scaled down (see DESIGN.md, substitutions table); the benchmarks can
 restore paper scale via ``REPRO_FULL_SCALE=1``.
+
+Strategy names resolve through the builder registry
+(:mod:`repro.harness.builders`); ``KNOWN_STRATEGIES`` is a *live view* of
+that registry, so strategies registered by third-party code validate here
+without editing this module.  Fault injection is expressed as a
+:class:`~repro.cluster.faults.FaultSchedule`; the legacy ``slowdown_*``
+fields remain as sugar for the single-slowdown case and are folded into
+the schedule by :meth:`ExperimentConfig.faults`.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from ..cluster.faults import FaultSchedule, NO_FAULTS, SlowdownFault
 from ..cluster.topology import ClusterSpec
 from ..workload.soundcloud import (
     PAPER_LOAD,
@@ -19,27 +28,7 @@ from ..workload.soundcloud import (
     make_soundcloud_workload,
     parse_value_size_model,
 )
-
-#: Strategies the runner knows how to build.
-KNOWN_STRATEGIES: _t.Tuple[str, ...] = (
-    # Paper's Figure 2 series.
-    "c3",
-    "equalmax-credits",
-    "equalmax-model",
-    "unifincr-credits",
-    "unifincr-model",
-    # Ablation strategies.
-    "oblivious-random",
-    "oblivious-rr",
-    "oblivious-lor",
-    "c3-norate",
-    "fifo-credits",
-    "sjf-credits",
-    "edf-credits",
-    "fifo-model",
-    "sjf-model",
-    "hedged",
-)
+from .builders import KNOWN_STRATEGIES
 
 #: The five series the paper's Figure 2 plots, in its legend order.
 FIGURE2_STRATEGIES: _t.Tuple[str, ...] = (
@@ -75,7 +64,9 @@ class ExperimentConfig:
     congestion_check_interval: float = 0.1
     #: Hedged-requests baseline: duplicate after this many seconds.
     hedge_delay: float = 2e-3
-    #: Fault injection: degrade one server (-1 disables).
+    #: Scripted fault events (slowdowns, crashes, jitter, flash crowds).
+    fault_schedule: FaultSchedule = NO_FAULTS
+    #: Legacy single-fault sugar: degrade one server (-1 disables).
     slowdown_server: int = -1
     slowdown_factor: float = 3.0
     slowdown_start: float = 0.25
@@ -83,6 +74,8 @@ class ExperimentConfig:
     slowdown_period: _t.Optional[float] = None
     #: Record per-request latencies too (costs memory on big runs).
     record_requests: bool = False
+    #: Name of the scenario this config was derived from (provenance only).
+    scenario: _t.Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in KNOWN_STRATEGIES:
@@ -101,10 +94,37 @@ class ExperimentConfig:
             raise ValueError("credits intervals must be positive")
         if self.hedge_delay <= 0:
             raise ValueError("hedge_delay must be positive")
-        if self.slowdown_server >= self.cluster.n_servers:
-            raise ValueError("slowdown_server out of range")
+        # Any negative id means "disabled"; normalize so configs compare equal.
+        if self.slowdown_server < 0:
+            object.__setattr__(self, "slowdown_server", -1)
+        elif self.slowdown_server >= self.cluster.n_servers:
+            raise ValueError(
+                f"slowdown_server {self.slowdown_server} out of range; valid "
+                f"server ids are 0..{self.cluster.n_servers - 1} "
+                "(or -1 to disable)"
+            )
+        if self.slowdown_server >= 0 and self.slowdown_factor <= 1.0:
+            raise ValueError(
+                f"slowdown_factor must exceed 1, got {self.slowdown_factor}"
+            )
+        if not isinstance(self.fault_schedule, FaultSchedule):
+            raise TypeError("fault_schedule must be a FaultSchedule")
+        self.fault_schedule.validate_targets(self.cluster.n_servers)
 
     # -- derived ---------------------------------------------------------------
+    def faults(self) -> FaultSchedule:
+        """The full fault script: scheduled events plus the legacy slowdown."""
+        if self.slowdown_server < 0:
+            return self.fault_schedule
+        legacy = SlowdownFault(
+            servers=(self.slowdown_server,),
+            factor=self.slowdown_factor,
+            start=self.slowdown_start,
+            duration=self.slowdown_duration,
+            period=self.slowdown_period,
+        )
+        return self.fault_schedule + FaultSchedule((legacy,))
+
     def workload(self) -> SoundCloudWorkload:
         """The workload this config implies (shared across strategies)."""
         return make_soundcloud_workload(
@@ -127,8 +147,10 @@ class ExperimentConfig:
         return dataclasses.replace(self, strategy=strategy)
 
     def describe(self) -> str:
+        origin = f" [{self.scenario}]" if self.scenario else ""
         return (
-            f"{self.strategy}: {self.n_tasks} tasks, {self.n_clients} clients, "
+            f"{self.strategy}{origin}: {self.n_tasks} tasks, "
+            f"{self.n_clients} clients, "
             f"{self.cluster.n_servers}x{self.cluster.cores_per_server} cores, "
             f"load={self.load:.0%}, fanout~{self.mean_fanout}"
         )

@@ -2,10 +2,16 @@
 
 This is the integration point of the whole library: given an
 :class:`~repro.harness.config.ExperimentConfig` and a seed it assembles
-the simulation (workload, placement, network, servers, clients, and the
-strategy-specific machinery -- C3 selectors, credits controller + gates,
-or the ideal global queue), replays the workload and returns a
-:class:`RunResult` with warmup-filtered task latencies and audit counters.
+the simulation (workload, placement, network, servers, clients) by
+resolving the config's strategy through the builder registry
+(:mod:`repro.harness.builders`), runs the config's fault schedule, replays
+the workload and returns a :class:`RunResult` with warmup-filtered task
+latencies and audit counters.
+
+The runner itself is strategy-agnostic: it never inspects the strategy
+name.  Everything strategy-specific -- shared machinery, per-client
+dispatch strategies, per-server execution engines, extra audit counters --
+comes from the registered :class:`~repro.harness.builders.StrategyBuilder`.
 """
 
 from __future__ import annotations
@@ -13,29 +19,16 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from ..baselines.c3 import C3Selector
-from ..baselines.hedging import HedgedStrategy
-from ..baselines.selectors import make_selector
-from ..baselines.strategies import ObliviousStrategy
-from ..cluster.faults import SlowdownInjector
 from ..cluster.client import Client
+from ..cluster.faults import FaultInjector
 from ..cluster.messages import TaskCompletion
 from ..cluster.network import Network
-from ..cluster.server import BackendServer, PullServer
-from ..core.brb_client import BRBCreditsStrategy, BRBModelStrategy
-from ..core.credits import CreditGate, CreditsController, equal_initial_shares
-from ..core.model_queue import GlobalQueue
-from ..core.priorities import make_assigner
 from ..metrics.counters import MetricRegistry
 from ..metrics.reservoir import ExactSample
 from ..metrics.summary import DEFAULT_PERCENTILES, LatencySummary
-from ..scheduling.disciplines import (
-    EdfDiscipline,
-    FifoDiscipline,
-    PriorityDiscipline,
-)
 from ..sim.engine import Environment
 from ..sim.rng import StreamFactory
+from .builders import ClusterContext, get_builder
 from .config import ExperimentConfig
 
 
@@ -129,101 +122,42 @@ class _CompletionTracker:
             self.client_waits.record(request.dispatched_at - request.created_at)
 
 
-def _build_clients(
-    config: ExperimentConfig,
-    env: Environment,
-    network: Network,
-    placement: _t.Any,
-    service_model: _t.Any,
-    streams: StreamFactory,
-    tracker: _CompletionTracker,
-    metrics: MetricRegistry,
-) -> _t.Tuple[_t.List[Client], _t.Dict[str, _t.Any]]:
-    """Create per-client strategies plus any shared machinery."""
-    strategy_name = config.strategy
-    shared: _t.Dict[str, _t.Any] = {}
+def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
+    """Simulate one (config, seed) pair end to end."""
+    builder = get_builder(config.strategy)
+    streams = StreamFactory(seed)
+    env = Environment()
+    metrics = MetricRegistry()
+    workload = config.workload()
+    placement = config.cluster.make_placement()
+    placement.validate()
+    network = Network(
+        env,
+        latency=config.cluster.make_latency_model(),
+        stream=streams.stream("network.latency"),
+        metrics=metrics,
+    )
+    ctx = ClusterContext(
+        config=config,
+        env=env,
+        network=network,
+        placement=placement,
+        service_model=workload.service_model,
+        streams=streams,
+        metrics=metrics,
+    )
+    warmup_tasks = int(config.warmup_fraction * config.n_tasks)
+    tracker = _CompletionTracker(
+        env, config.n_tasks, warmup_tasks, config.record_requests
+    )
+
+    # Construction order matters for byte-identical determinism: shared
+    # machinery, then clients (strategy before client), then servers, then
+    # the fault script -- the same order the pre-registry runner used.
+    builder.build_shared(ctx)
     clients: _t.List[Client] = []
-
-    needs_credits = strategy_name.endswith("-credits")
-    needs_model = strategy_name.endswith("-model")
-
-    if needs_model:
-        shared["global_queue"] = GlobalQueue(
-            env,
-            latency=config.cluster.make_latency_model(),
-            stream=streams.stream("model.submit-latency"),
-        )
-    if needs_credits:
-        shared["controller"] = CreditsController(
-            env,
-            network,
-            n_clients=config.n_clients,
-            server_capacities=config.cluster.server_capacities(),
-            epoch=config.credits_epoch,
-            allocation_interval=config.credits_measurement_interval,
-            metrics=metrics,
-        )
-        shared["gates"] = []
-
     for client_id in range(config.n_clients):
-        if strategy_name == "c3" or strategy_name == "c3-norate":
-            selector = C3Selector(
-                env,
-                concurrency_weight=config.n_clients,
-                stream=streams.stream(f"c3.tiebreak.{client_id}"),
-                rate_control=(strategy_name == "c3"),
-                # Start at the per-client fair share of one server so the
-                # cubic controller explores around the right operating point.
-                initial_rate=config.cluster.server_capacity() / config.n_clients,
-            )
-            strategy: _t.Any = ObliviousStrategy(placement, selector, service_model)
-        elif strategy_name == "hedged":
-            selector = make_selector(
-                "least-outstanding", stream=streams.stream(f"selector.{client_id}")
-            )
-            strategy = HedgedStrategy(
-                placement,
-                selector,
-                service_model,
-                hedge_delay=config.hedge_delay,
-            )
-        elif strategy_name.startswith("oblivious-"):
-            kind = {
-                "oblivious-random": "random",
-                "oblivious-rr": "round-robin",
-                "oblivious-lor": "least-outstanding",
-            }[strategy_name]
-            selector = make_selector(
-                kind, stream=streams.stream(f"selector.{client_id}")
-            )
-            strategy = ObliviousStrategy(placement, selector, service_model)
-        elif needs_credits:
-            assigner = make_assigner(strategy_name.split("-")[0])
-            gate = CreditGate(
-                env,
-                network,
-                client_id=client_id,
-                server_ids=list(range(config.cluster.n_servers)),
-                epoch=config.credits_epoch,
-                measurement_interval=config.credits_measurement_interval,
-                initial_share=equal_initial_shares(
-                    config.cluster.server_capacities(),
-                    config.n_clients,
-                    config.credits_measurement_interval,
-                ),
-            )
-            shared["gates"].append(gate)
-            strategy = BRBCreditsStrategy(
-                placement, assigner, service_model, gate=gate
-            )
-        elif needs_model:
-            assigner = make_assigner(strategy_name.split("-")[0])
-            strategy = BRBModelStrategy(
-                placement, assigner, service_model, global_queue=shared["global_queue"]
-            )
-        else:  # pragma: no cover - config validates strategy names
-            raise ValueError(f"cannot build strategy {strategy_name!r}")
-
+        strategy = builder.build_client_strategy(ctx, client_id)
         clients.append(
             Client(
                 env,
@@ -238,108 +172,23 @@ def _build_clients(
                 ),
             )
         )
-    return clients, shared
-
-
-def _build_servers(
-    config: ExperimentConfig,
-    env: Environment,
-    network: Network,
-    placement: _t.Any,
-    service_model: _t.Any,
-    streams: StreamFactory,
-    shared: _t.Dict[str, _t.Any],
-    metrics: MetricRegistry,
-) -> _t.List[_t.Any]:
-    strategy_name = config.strategy
-    servers: _t.List[_t.Any] = []
-    if strategy_name.endswith("-model"):
-        for server_id in range(config.cluster.n_servers):
-            servers.append(
-                PullServer(
-                    env,
-                    server_id=server_id,
-                    cores=config.cluster.cores_per_server,
-                    service_model=service_model,
-                    network=network,
-                    service_stream=streams.stream(f"service.{server_id}"),
-                    global_queue=shared["global_queue"].store,
-                    partitions=placement.partitions_of_server(server_id),
-                    metrics=metrics,
-                )
-            )
-        return servers
-
-    needs_credits = strategy_name.endswith("-credits")
-    for server_id in range(config.cluster.n_servers):
-        if needs_credits:
-            if strategy_name.startswith("edf"):
-                discipline: _t.Any = EdfDiscipline()
-            else:
-                discipline = PriorityDiscipline()
-        else:
-            discipline = FifoDiscipline()
-        servers.append(
-            BackendServer(
-                env,
-                server_id=server_id,
-                cores=config.cluster.cores_per_server,
-                service_model=service_model,
-                network=network,
-                service_stream=streams.stream(f"service.{server_id}"),
-                discipline=discipline,
-                metrics=metrics,
-                congestion_interval=(
-                    config.congestion_check_interval if needs_credits else None
-                ),
-            )
-        )
-    return servers
-
-
-def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
-    """Simulate one (config, seed) pair end to end."""
-    streams = StreamFactory(seed)
-    env = Environment()
-    metrics = MetricRegistry()
-    workload = config.workload()
-    placement = config.cluster.make_placement()
-    placement.validate()
-    network = Network(
-        env,
-        latency=config.cluster.make_latency_model(),
-        stream=streams.stream("network.latency"),
-        metrics=metrics,
-    )
-    service_model = workload.service_model
-    warmup_tasks = int(config.warmup_fraction * config.n_tasks)
-    tracker = _CompletionTracker(
-        env, config.n_tasks, warmup_tasks, config.record_requests
-    )
-
-    clients, shared = _build_clients(
-        config, env, network, placement, service_model, streams, tracker, metrics
-    )
-    servers = _build_servers(
-        config, env, network, placement, service_model, streams, shared, metrics
-    )
-    injector = None
-    if config.slowdown_server >= 0:
-        injector = SlowdownInjector(
-            env,
-            servers[config.slowdown_server],
-            factor=config.slowdown_factor,
-            start=config.slowdown_start,
-            duration=config.slowdown_duration,
-            period=config.slowdown_period,
-        )
+    servers = [
+        builder.build_server(ctx, server_id)
+        for server_id in range(config.cluster.n_servers)
+    ]
+    injector = FaultInjector(env, config.faults(), servers, network)
 
     generator = workload.generator(streams)
 
     def feeder() -> _t.Generator:
+        last_arrival = 0.0
         for _ in range(config.n_tasks):
             task = generator.next_task()
-            delay = task.arrival_time - env.now
+            # Flash-crowd faults compress inter-arrival gaps; at scale 1
+            # this reduces exactly to waiting until task.arrival_time.
+            gap = task.arrival_time - last_arrival
+            last_arrival = task.arrival_time
+            delay = gap / injector.arrival_scale()
             if delay > 0:
                 yield env.timeout(delay)
             clients[task.client_id].submit(task)
@@ -361,24 +210,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
     extras: _t.Dict[str, float] = {
         "mean_server_utilization": sum(s.utilization for s in servers) / len(servers),
     }
-    if "controller" in shared:
-        controller: CreditsController = shared["controller"]
-        extras["congestion_signals"] = float(controller.congestion_signals)
-        extras["credit_grants"] = float(controller.grants_sent)
-        extras["gated_requests"] = float(
-            sum(g.gated for g in shared.get("gates", []))
-        )
-    if "global_queue" in shared:
-        extras["global_queue_submitted"] = float(shared["global_queue"].submitted)
-    if injector is not None:
-        extras["slowdown_windows"] = float(injector.windows_injected)
-    if config.strategy == "hedged":
-        extras["hedges_sent"] = float(
-            sum(c.strategy.hedges_sent for c in clients)
-        )
-        extras["wasted_responses"] = float(
-            sum(c.strategy.wasted_responses for c in clients)
-        )
+    extras.update(builder.collect_extras(ctx, clients, servers))
+    extras.update(injector.extras())
 
     return RunResult(
         config=config,

@@ -20,6 +20,12 @@ Example::
 
 Dotted parameter paths reach into the nested cluster spec:
 ``parameter="cluster.one_way_latency"``.
+
+``base`` may also be the *name* of a registered scenario -- the sweep then
+runs over that scenario's workload and fault schedule::
+
+    result = sweep("straggler", parameter="load", values=[0.5, 0.7],
+                   strategies=("c3", "unifincr-credits"))
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import typing as _t
 
 from ..analysis.tables import render_table
 from ..metrics.summary import PAPER_PERCENTILES
+from .builders import get_builder
 from .config import ExperimentConfig
 from .results import ComparisonResult, compare_strategies
 from .runner import run_seeds
@@ -107,18 +114,31 @@ class SweepResult:
 
 
 def sweep(
-    base: ExperimentConfig,
+    base: _t.Union[ExperimentConfig, str],
     parameter: str,
     values: _t.Sequence[_t.Any],
     strategies: _t.Sequence[str],
     seeds: _t.Sequence[int] = (1,),
     percentiles: _t.Tuple[float, ...] = PAPER_PERCENTILES,
+    n_tasks: _t.Optional[int] = None,
 ) -> SweepResult:
-    """Run the full (value x strategy x seed) grid."""
+    """Run the full (value x strategy x seed) grid.
+
+    ``base`` is either a ready :class:`ExperimentConfig` or the name of a
+    registered scenario; ``n_tasks`` (scenario mode only) scales the run.
+    """
+    if isinstance(base, str):
+        from ..scenarios import get_scenario  # local import: scenarios sit above
+
+        base = get_scenario(base).build_config(n_tasks=n_tasks)
+    elif n_tasks is not None:
+        raise ValueError("n_tasks is only meaningful with a scenario name")
     if not values:
         raise ValueError("sweep needs at least one value")
     if not strategies:
         raise ValueError("sweep needs at least one strategy")
+    for name in strategies:
+        get_builder(name)  # fail fast with the registry's helpful error
     comparisons: _t.Dict[_t.Any, ComparisonResult] = {}
     for value in values:
         config = _replace_parameter(base, parameter, value)

@@ -1,0 +1,144 @@
+"""The built-in scenario library.
+
+Eight named workload scenarios covering the paper's evaluation plus the
+fault shapes tail-latency systems are judged on.  Fault onsets are virtual
+seconds; at the scaled default task counts (5k-12k tasks, ~10k tasks/s at
+70% load) a run lasts roughly 0.5-1.2 s, so every recurring fault below
+fires at least once.  Scale-down smoke runs (a few hundred tasks) may end
+before a window opens; the schedule still validates and reports zero
+windows.
+"""
+
+from __future__ import annotations
+
+from ..cluster.faults import (
+    CrashFault,
+    FaultSchedule,
+    FlashCrowdFault,
+    NetworkJitterFault,
+    SlowdownFault,
+)
+from .registry import register_scenario
+from .spec import make_scenario
+
+INFINITE = float("inf")
+
+
+#: The paper's Section 2.2 evaluation setup, fault-free.
+STEADY_STATE = register_scenario(
+    make_scenario(
+        "steady-state",
+        "the paper's SoundCloud-like workload at 70% load, no faults",
+    )
+)
+
+#: One replica periodically degraded 4x (GC pauses / compaction), the
+#: shape of the repo's Ablation F straggler benchmark.
+STRAGGLER = register_scenario(
+    make_scenario(
+        "straggler",
+        "one server 4x slower in recurring windows (GC / compaction)",
+        faults=FaultSchedule(
+            (
+                SlowdownFault(
+                    servers=(0,), factor=4.0, start=0.05, duration=0.1, period=0.25
+                ),
+            )
+        ),
+    )
+)
+
+#: Staggered GC pauses sweeping across three servers; windows on distinct
+#: servers overlap when drift accumulates.
+RECURRING_GC = register_scenario(
+    make_scenario(
+        "recurring-gc",
+        "staggered 2.5x GC pauses recurring on three different servers",
+        faults=FaultSchedule(
+            (
+                SlowdownFault(
+                    servers=(0,), factor=2.5, start=0.04, duration=0.08, period=0.21
+                ),
+                SlowdownFault(
+                    servers=(3,), factor=2.5, start=0.09, duration=0.08, period=0.23
+                ),
+                SlowdownFault(
+                    servers=(6,), factor=2.5, start=0.14, duration=0.08, period=0.25
+                ),
+            )
+        ),
+    )
+)
+
+#: A load step: arrivals briefly exceed capacity, then recede.
+FLASH_CROWD = register_scenario(
+    make_scenario(
+        "flash-crowd",
+        "recurring 2.2x arrival surges over a 60%-load baseline",
+        overrides={"load": 0.60},
+        faults=FaultSchedule(
+            (
+                FlashCrowdFault(
+                    multiplier=2.2, start=0.15, duration=0.2, period=0.6
+                ),
+            )
+        ),
+    )
+)
+
+#: Popularity concentrates on few keys: replica hotspots via the placement.
+HOTSPOT_SKEW = register_scenario(
+    make_scenario(
+        "hotspot-skew",
+        "hot keyspace: Zipf(1.2) over 20k keys, more playlist expansions",
+        overrides={
+            "zipf_skew": 1.2,
+            "n_keys": 20_000,
+            "playlist_fraction": 0.35,
+        },
+    )
+)
+
+#: A permanently mixed fleet: three of nine servers are older/slower.
+HETEROGENEOUS_CLUSTER = register_scenario(
+    make_scenario(
+        "heterogeneous-cluster",
+        "three of nine servers permanently 1.5x slower (mixed hardware)",
+        overrides={"load": 0.65},
+        faults=FaultSchedule(
+            (
+                SlowdownFault(
+                    servers=(0, 1, 2), factor=1.5, start=0.0, duration=INFINITE
+                ),
+            )
+        ),
+    )
+)
+
+#: The fabric degrades: one-way latency inflates with log-normal jitter.
+NETWORK_JITTER = register_scenario(
+    make_scenario(
+        "network-jitter",
+        "recurring 6x one-way latency inflation with log-normal jitter",
+        faults=FaultSchedule(
+            (
+                NetworkJitterFault(
+                    factor=6.0, sigma=0.4, start=0.1, duration=0.15, period=0.4
+                ),
+            )
+        ),
+    )
+)
+
+#: A replica goes down and comes back; queued work must survive.
+CRASH_RESTART = register_scenario(
+    make_scenario(
+        "crash-restart",
+        "one server crashes for 80ms in recurring windows, queue retained",
+        faults=FaultSchedule(
+            (
+                CrashFault(servers=(0,), start=0.1, duration=0.08, period=0.4),
+            )
+        ),
+    )
+)

@@ -1,0 +1,67 @@
+"""The scenario registry: named scenarios, resolvable from anywhere.
+
+Mirrors the strategy-builder registry in :mod:`repro.harness.builders`:
+scenarios register under their name, ``SCENARIOS`` is a live read-only
+view, and :func:`get_scenario` resolves names with a helpful error.  The
+built-in library (:mod:`repro.scenarios.library`) registers itself on
+package import; third-party code can add its own scenarios the same way.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from .spec import ScenarioSpec
+
+_REGISTRY: _t.Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (its ``name`` becomes the key)."""
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (mainly for tests of third-party registration)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Resolve a scenario name, with a helpful error on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {tuple(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> _t.Tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+class _Scenarios(_t.Mapping[str, ScenarioSpec]):
+    """Live, read-only mapping view of the registry."""
+
+    def __getitem__(self, name: str) -> ScenarioSpec:
+        return get_scenario(name)
+
+    def __iter__(self) -> _t.Iterator[str]:
+        return iter(tuple(_REGISTRY))
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __repr__(self) -> str:
+        return f"Scenarios({tuple(_REGISTRY)})"
+
+
+#: Live view of every registered scenario, keyed by name.
+SCENARIOS: _t.Mapping[str, ScenarioSpec] = _Scenarios()

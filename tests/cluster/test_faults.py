@@ -1,23 +1,37 @@
-"""Unit tests for the slowdown fault injector."""
+"""Unit tests for fault injection: schedules, typed events, the legacy injector."""
+
+import math
 
 import pytest
 
-from repro.cluster import BackendServer, Network, SlowdownInjector, client_address, server_address
+from repro.cluster import (
+    BackendServer,
+    CrashFault,
+    FaultInjector,
+    FaultSchedule,
+    FlashCrowdFault,
+    Network,
+    NetworkJitterFault,
+    SlowdownFault,
+    SlowdownInjector,
+    client_address,
+    server_address,
+)
 from repro.cluster.messages import RequestMessage
-from repro.cluster.network import ConstantLatency
+from repro.cluster.network import ConstantLatency, JitteredLatency
 from repro.sim import Environment, Stream
 from repro.workload import ServiceTimeModel
 from repro.workload.tasks import Operation
 
 
-def make_server(env, network):
+def make_server(env, network, server_id=0):
     return BackendServer(
         env,
-        server_id=0,
+        server_id=server_id,
         cores=1,
         service_model=ServiceTimeModel(overhead=0.0, bandwidth=1.0, noise="none"),
         network=network,
-        service_stream=Stream(1, "svc"),
+        service_stream=Stream(1, f"svc{server_id}"),
     )
 
 
@@ -90,3 +104,266 @@ class TestSlowdownInjector:
             SlowdownInjector(env, server, start=-1.0)
         with pytest.raises(ValueError):
             SlowdownInjector(env, server, duration=2.0, period=1.0)
+
+
+class TestFaultEventValidation:
+    def test_slowdown_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=(0,), factor=1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=(0,), duration=0.0)
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=(0,), start=-1.0)
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=(0,), duration=2.0, period=1.0)
+
+    def test_permanent_fault_cannot_recur(self):
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=(0,), duration=math.inf, period=1.0)
+        with pytest.raises(ValueError):
+            CrashFault(servers=(0,), duration=math.inf)
+
+    def test_single_int_target_coerced(self):
+        assert SlowdownFault(servers=0).servers == (0,)
+        assert CrashFault(servers=2).servers == (2,)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SlowdownFault(servers=())
+        with pytest.raises(ValueError):
+            CrashFault(servers=())
+
+    def test_flash_crowd_and_jitter_validate(self):
+        with pytest.raises(ValueError):
+            FlashCrowdFault(multiplier=1.0)
+        with pytest.raises(ValueError):
+            NetworkJitterFault(factor=0.5)
+
+
+class TestFaultSchedule:
+    def test_len_bool_and_concat(self):
+        empty = FaultSchedule()
+        assert not empty and len(empty) == 0
+        one = FaultSchedule((SlowdownFault(servers=(0,)),))
+        two = one + FaultSchedule((CrashFault(servers=(1,)),))
+        assert len(two) == 2 and bool(two)
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(("not-a-fault",))
+
+    def test_validate_targets_names_range(self):
+        schedule = FaultSchedule((SlowdownFault(servers=(7,)),))
+        with pytest.raises(ValueError, match=r"0\.\.2"):
+            schedule.validate_targets(3)
+        schedule.validate_targets(8)  # in range: no raise
+
+    def test_describe_mentions_each_event(self):
+        schedule = FaultSchedule(
+            (SlowdownFault(servers=(1,), factor=2.0), FlashCrowdFault())
+        )
+        text = "\n".join(schedule.describe())
+        assert "slowdown x2" in text and "flash crowd" in text
+
+
+class _Rig:
+    """n servers on a zero-latency network, responses collected per client."""
+
+    def __init__(self, n_servers=2):
+        self.env = Environment()
+        self.network = Network(
+            self.env, latency=ConstantLatency(0.0), stream=Stream(0, "n")
+        )
+        self.responses = []
+        self.network.register(client_address(0), self.responses.append)
+        self.servers = [
+            make_server(self.env, self.network, server_id=i)
+            for i in range(n_servers)
+        ]
+
+    def send(self, server_id, size=1, op_id=0):
+        self.network.send(
+            client_address(0), server_address(server_id), req(op_id=op_id, size=size)
+        )
+
+
+class TestFaultInjector:
+    def test_overlapping_slowdowns_on_distinct_servers(self):
+        rig = _Rig(n_servers=2)
+        schedule = FaultSchedule(
+            (
+                SlowdownFault(servers=(0,), factor=2.0, start=0.0, duration=10.0),
+                SlowdownFault(servers=(1,), factor=3.0, start=1.0, duration=10.0),
+            )
+        )
+        injector = FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        def driver(env):
+            yield env.timeout(2.0)  # both windows open
+            rig.send(0, op_id=0)
+            rig.send(1, op_id=1)
+
+        rig.env.process(driver(rig.env))
+        rig.env.run(until=8.0)
+        by_op = {r.request.op.op_id: r.request.service_time for r in rig.responses}
+        assert by_op[0] == pytest.approx(2.0)
+        assert by_op[1] == pytest.approx(3.0)
+        assert injector.windows["slowdown"] == 2
+
+    def test_overlapping_slowdowns_same_server_compose(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule(
+            (
+                SlowdownFault(servers=(0,), factor=2.0, start=0.0, duration=10.0),
+                SlowdownFault(servers=(0,), factor=3.0, start=1.0, duration=2.0),
+            )
+        )
+        FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        def driver(env):
+            yield env.timeout(1.5)  # inside both windows
+            rig.send(0)
+
+        rig.env.process(driver(rig.env))
+        # After the inner window closes the outer factor alone remains.
+        rig.env.run(until=5.0)
+        assert rig.servers[0].speed_factor == pytest.approx(2.0)
+        # After both windows the server is fully restored.
+        rig.env.run(until=30.0)
+        assert rig.servers[0].speed_factor == pytest.approx(1.0)
+        assert rig.responses[0].request.service_time == pytest.approx(6.0)
+
+    def test_crash_restart_conserves_queued_work(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule(
+            (CrashFault(servers=(0,), start=1.0, duration=5.0),)
+        )
+        FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        def driver(env):
+            yield env.timeout(2.0)  # server is down
+            assert rig.servers[0].paused
+            for op_id in range(4):
+                rig.send(0, op_id=op_id)
+
+        rig.env.process(driver(rig.env))
+        rig.env.run(until=20.0)
+        # Nothing lost: all four requests served, all after the restart.
+        assert len(rig.responses) == 4
+        assert rig.servers[0].crashes == 1
+        assert not rig.servers[0].paused
+        assert all(
+            r.request.service_start_at >= 6.0 for r in rig.responses
+        ), "served during the crash window"
+
+    def test_overlapping_crashes_on_distinct_servers_conserve(self):
+        rig = _Rig(n_servers=2)
+        schedule = FaultSchedule(
+            (
+                CrashFault(servers=(0,), start=0.5, duration=3.0),
+                CrashFault(servers=(1,), start=1.0, duration=3.0),
+            )
+        )
+        FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        def driver(env):
+            yield env.timeout(2.0)  # both down
+            for op_id in range(3):
+                rig.send(0, op_id=op_id)
+                rig.send(1, op_id=10 + op_id)
+
+        rig.env.process(driver(rig.env))
+        rig.env.run(until=30.0)
+        assert len(rig.responses) == 6
+        assert all(s.crashes == 1 for s in rig.servers)
+
+    def test_network_jitter_swaps_and_restores_latency(self):
+        rig = _Rig(n_servers=1)
+        rig.network.latency = ConstantLatency(50e-6)
+        base = rig.network.latency
+        schedule = FaultSchedule(
+            (NetworkJitterFault(factor=4.0, sigma=0.2, start=1.0, duration=2.0),)
+        )
+        FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        seen = {}
+
+        def driver(env):
+            yield env.timeout(1.5)
+            seen["during"] = rig.network.latency
+            yield env.timeout(5.0)
+            seen["after"] = rig.network.latency
+
+        rig.env.process(driver(rig.env))
+        rig.env.run(until=10.0)
+        assert isinstance(seen["during"], JitteredLatency)
+        assert seen["during"].mean() == pytest.approx(base.mean() * 4.0)
+        assert seen["after"] is base
+
+    def test_flash_crowd_scales_arrivals_and_reverts(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule(
+            (FlashCrowdFault(multiplier=2.5, start=1.0, duration=2.0),)
+        )
+        injector = FaultInjector(rig.env, schedule, rig.servers, rig.network)
+        seen = {}
+
+        def driver(env):
+            seen["before"] = injector.arrival_scale()
+            yield env.timeout(1.5)
+            seen["during"] = injector.arrival_scale()
+            yield env.timeout(5.0)
+            seen["after"] = injector.arrival_scale()
+
+        rig.env.process(driver(rig.env))
+        rig.env.run(until=10.0)
+        assert seen["before"] == 1.0
+        assert seen["during"] == pytest.approx(2.5)
+        assert seen["after"] == pytest.approx(1.0)
+
+    def test_extras_report_zero_before_first_window(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule(
+            (SlowdownFault(servers=(0,), factor=2.0, start=100.0, duration=1.0),)
+        )
+        injector = FaultInjector(rig.env, schedule, rig.servers, rig.network)
+        assert injector.extras() == {"slowdown_windows": 0.0}
+
+    def test_out_of_range_target_rejected_at_injection(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule((CrashFault(servers=(5,)),))
+        with pytest.raises(ValueError, match="valid ids"):
+            FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+    def test_overlapping_crashes_same_server_nest(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule(
+            (
+                CrashFault(servers=(0,), start=0.0, duration=5.0),
+                CrashFault(servers=(0,), start=2.0, duration=5.0),
+            )
+        )
+        FaultInjector(rig.env, schedule, rig.servers, rig.network)
+
+        def driver(env):
+            yield env.timeout(3.0)
+            rig.send(0)
+
+        rig.env.process(driver(rig.env))
+        # The first window ends at t=5 but the second holds until t=7.
+        rig.env.run(until=6.0)
+        assert rig.servers[0].paused
+        assert not rig.responses
+        rig.env.run(until=30.0)
+        assert not rig.servers[0].paused
+        assert len(rig.responses) == 1
+        assert rig.responses[0].request.service_start_at >= 7.0
+        assert rig.servers[0].crashes == 2
+
+    def test_jitter_without_network_rejected_at_construction(self):
+        rig = _Rig(n_servers=1)
+        schedule = FaultSchedule((NetworkJitterFault(start=0.5),))
+        with pytest.raises(ValueError, match="need a network"):
+            FaultInjector(rig.env, schedule, rig.servers, network=None)

@@ -45,6 +45,39 @@ class TestCommands:
         ]) == 0
         assert "slowdown_windows" in capsys.readouterr().out
 
+    def test_run_scenario_straggler(self, capsys):
+        assert main([
+            "run", "--scenario", "straggler", "--strategy", "oblivious-lor",
+            "--tasks", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[straggler]" in out
+        assert "fault: slowdown x4" in out
+        assert "slowdown_windows" in out
+
+    def test_run_scenario_overrides_compose(self, capsys):
+        assert main([
+            "run", "--scenario", "hotspot-skew", "--strategy",
+            "oblivious-random", "--tasks", "200", "--load", "0.5",
+        ]) == 0
+        assert "load=50%" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+    def test_scenarios_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady-state", "straggler", "recurring-gc",
+                     "flash-crowd", "hotspot-skew", "heterogeneous-cluster"):
+            assert name in out
+
+    def test_scenarios_verbose_shows_faults(self, capsys):
+        assert main(["scenarios", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "fault:" in out
+
     def test_trace_roundtrip(self, tmp_path, capsys):
         path = tmp_path / "t.jsonl"
         assert main(["trace", "generate", str(path), "--tasks", "100"]) == 0

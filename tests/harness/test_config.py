@@ -63,6 +63,61 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(credits_epoch=0.0)
 
+    def test_negative_slowdown_server_normalized(self):
+        """Any negative id means disabled and normalizes to -1."""
+        assert ExperimentConfig(slowdown_server=-7).slowdown_server == -1
+        assert ExperimentConfig(slowdown_server=-1).slowdown_server == -1
+        assert ExperimentConfig(slowdown_server=-7) == ExperimentConfig()
+
+    def test_slowdown_server_range_error_names_range(self):
+        with pytest.raises(ValueError, match=r"0\.\.8"):
+            ExperimentConfig(slowdown_server=9)
+
+    def test_slowdown_factor_validated_when_enabled(self):
+        with pytest.raises(ValueError, match="slowdown_factor"):
+            ExperimentConfig(slowdown_server=0, slowdown_factor=1.0)
+        # Disabled slowdown leaves the factor unchecked (it is unused).
+        ExperimentConfig(slowdown_server=-1, slowdown_factor=1.0)
+
+    def test_fault_schedule_targets_validated(self):
+        from repro.cluster.faults import FaultSchedule, SlowdownFault
+
+        with pytest.raises(ValueError, match="valid ids"):
+            ExperimentConfig(
+                fault_schedule=FaultSchedule((SlowdownFault(servers=(99,)),))
+            )
+
+    def test_faults_combines_schedule_and_legacy_slowdown(self):
+        from repro.cluster.faults import FaultSchedule, FlashCrowdFault
+
+        cfg = ExperimentConfig(
+            fault_schedule=FaultSchedule((FlashCrowdFault(),)),
+            slowdown_server=2,
+            slowdown_factor=2.5,
+        )
+        schedule = cfg.faults()
+        assert len(schedule) == 2
+        assert schedule.events[1].servers == (2,)
+        assert schedule.events[1].factor == 2.5
+
+    def test_known_strategies_is_live_view(self):
+        from repro.harness import StrategyBuilder, register_strategy, unregister_strategy
+
+        class _Tmp(StrategyBuilder):
+            name = "tmp-config-test"
+
+            def build_client_strategy(self, ctx, client_id):  # pragma: no cover
+                raise NotImplementedError
+
+        assert "tmp-config-test" not in KNOWN_STRATEGIES
+        register_strategy(_Tmp())
+        try:
+            assert "tmp-config-test" in KNOWN_STRATEGIES
+            ExperimentConfig(strategy="tmp-config-test", n_tasks=1)
+        finally:
+            unregister_strategy("tmp-config-test")
+        assert "tmp-config-test" not in KNOWN_STRATEGIES
+
     def test_describe_mentions_strategy(self):
         assert "c3" in ExperimentConfig(strategy="c3").describe()
 

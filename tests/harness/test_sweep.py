@@ -76,3 +76,33 @@ class TestSweep:
             sweep(ExperimentConfig(), "load", [], ("c3",))
         with pytest.raises(ValueError):
             sweep(ExperimentConfig(), "load", [0.5], ())
+
+
+class TestScenarioSweep:
+    def test_scenario_name_as_base(self):
+        result = sweep(
+            "hotspot-skew",
+            parameter="zipf_skew",
+            values=[0.9, 1.2],
+            strategies=("oblivious-random",),
+            seeds=(1,),
+            n_tasks=200,
+        )
+        assert result.values == (0.9, 1.2)
+        for comparison in result.comparisons.values():
+            runs = comparison.strategies["oblivious-random"].runs
+            assert all(r.config.scenario == "hotspot-skew" for r in runs)
+            assert all(r.config.n_tasks == 200 for r in runs)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            sweep("nope", "load", [0.5], ("c3",))
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            sweep(ExperimentConfig(n_tasks=10), "load", [0.5], ("warp-drive",))
+
+    def test_n_tasks_requires_scenario(self):
+        with pytest.raises(ValueError, match="only meaningful"):
+            sweep(ExperimentConfig(n_tasks=10), "load", [0.5],
+                  ("oblivious-random",), n_tasks=100)
