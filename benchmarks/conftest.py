@@ -36,6 +36,36 @@ def bench_scale():
     return n_tasks, tuple(range(1, n_seeds + 1))
 
 
+def bench_executor():
+    """Grid executor honoring ``REPRO_BENCH_JOBS`` (serial by default).
+
+    ``REPRO_BENCH_JOBS=N`` fans each benchmark's run grid over N worker
+    processes (0 = all cores); results are byte-identical to serial runs
+    (see ``repro.harness.parallel``), so the assertions are unaffected.
+    """
+    from repro.harness import make_executor
+
+    jobs = os.environ.get("REPRO_BENCH_JOBS")
+    return make_executor(jobs=int(jobs) if jobs is not None else None)
+
+
+def bench_run_grid(configs, seeds):
+    """Run {strategy: config} x seeds as ONE grid through the executor.
+
+    Returns ``{strategy: [RunResult, ...]}`` ready for
+    ``compare_strategies``.  Fanning the whole strategy x seed block in a
+    single ``run_jobs`` call (instead of one ``run_seeds`` per strategy)
+    lets ``REPRO_BENCH_JOBS`` workers span the full block and pays pool
+    startup once per sweep point.
+    """
+    from repro.harness.parallel import enumerate_run_grid, split_by_strategy
+
+    jobs = enumerate_run_grid([configs], seeds)
+    return split_by_strategy(
+        bench_executor().run_jobs(jobs), list(configs), len(seeds)
+    )
+
+
 def save_report(name: str, text: str, data=None) -> None:
     """Persist a rendered report (and optional JSON) under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)

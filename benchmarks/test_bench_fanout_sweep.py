@@ -6,10 +6,10 @@ should appear and persist as fan-out grows (the paper's motivation:
 "tens to thousands of data accesses").
 """
 
-from conftest import bench_scale, save_report
+from conftest import bench_run_grid, bench_scale, save_report
 
 from repro.analysis import render_table
-from repro.harness import ExperimentConfig, run_seeds
+from repro.harness import ExperimentConfig
 from repro.harness.results import compare_strategies
 
 FANOUTS = (1.5, 4.0, 8.6, 16.0)
@@ -22,10 +22,9 @@ def run_sweep(n_tasks, seeds):
     for fanout in FANOUTS:
         cfg = ExperimentConfig(n_tasks=n_tasks, mean_fanout=fanout)
         comparison = compare_strategies(
-            {
-                name: run_seeds(cfg.with_strategy(name), seeds)
-                for name in STRATEGIES
-            }
+            bench_run_grid(
+                {name: cfg.with_strategy(name) for name in STRATEGIES}, seeds
+            )
         )
         raw[str(fanout)] = comparison.to_dict()
         speedup = comparison.speedup("c3", "unifincr-credits")

@@ -6,10 +6,10 @@ queues form), while the credits/model gap widens too -- the trade the
 realizable design makes.
 """
 
-from conftest import bench_scale, save_report
+from conftest import bench_run_grid, bench_scale, save_report
 
 from repro.analysis import render_table
-from repro.harness import ExperimentConfig, run_seeds
+from repro.harness import ExperimentConfig
 from repro.harness.results import compare_strategies
 
 LOADS = (0.4, 0.55, 0.7, 0.85)
@@ -22,10 +22,9 @@ def run_sweep(n_tasks, seeds):
     for load in LOADS:
         cfg = ExperimentConfig(n_tasks=n_tasks, load=load)
         comparison = compare_strategies(
-            {
-                name: run_seeds(cfg.with_strategy(name), seeds)
-                for name in STRATEGIES
-            }
+            bench_run_grid(
+                {name: cfg.with_strategy(name) for name in STRATEGIES}, seeds
+            )
         )
         raw[str(load)] = comparison.to_dict()
         speedup = comparison.speedup("c3", "equalmax-credits")

@@ -6,10 +6,10 @@ priorities are the null hypothesis; SJF is size-aware-but-task-oblivious;
 EDF, EqualMax and UnifIncr are task-aware.
 """
 
-from conftest import bench_scale, save_report
+from conftest import bench_run_grid, bench_scale, save_report
 
 from repro.analysis import render_table
-from repro.harness import ExperimentConfig, run_seeds
+from repro.harness import ExperimentConfig
 from repro.harness.results import compare_strategies
 
 STRATEGIES = (
@@ -24,7 +24,9 @@ STRATEGIES = (
 def run_ablation(n_tasks, seeds):
     cfg = ExperimentConfig(n_tasks=n_tasks)
     comparison = compare_strategies(
-        {name: run_seeds(cfg.with_strategy(name), seeds) for name in STRATEGIES}
+        bench_run_grid(
+            {name: cfg.with_strategy(name) for name in STRATEGIES}, seeds
+        )
     )
     rows = []
     for name in STRATEGIES:

@@ -7,10 +7,10 @@ this is the C3 paper's own claim, and it sanity-checks our baseline before
 Figure 2 leans on it.
 """
 
-from conftest import bench_scale, save_report
+from conftest import bench_run_grid, bench_scale, save_report
 
 from repro.analysis import render_table
-from repro.harness import ExperimentConfig, run_seeds
+from repro.harness import ExperimentConfig
 from repro.harness.results import compare_strategies
 
 STRATEGIES = ("oblivious-random", "oblivious-rr", "oblivious-lor", "c3-norate", "c3")
@@ -19,7 +19,9 @@ STRATEGIES = ("oblivious-random", "oblivious-rr", "oblivious-lor", "c3-norate", 
 def run_ablation(n_tasks, seeds):
     cfg = ExperimentConfig(n_tasks=n_tasks)
     comparison = compare_strategies(
-        {name: run_seeds(cfg.with_strategy(name), seeds) for name in STRATEGIES}
+        bench_run_grid(
+            {name: cfg.with_strategy(name) for name in STRATEGIES}, seeds
+        )
     )
     rows = []
     for name in STRATEGIES:

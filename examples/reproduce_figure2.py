@@ -9,13 +9,14 @@ ASCII rendition of the figure, and the paper's two headline ratios.
 Usage::
 
     python examples/reproduce_figure2.py [--tasks N] [--seeds K] [--out FILE]
+    python examples/reproduce_figure2.py --jobs 4      # fan runs over 4 cores
     python examples/reproduce_figure2.py --full        # paper scale (slow!)
 """
 
 import argparse
 
 from repro.analysis import grouped_bar_chart, percentile_matrix, ratio_table
-from repro.harness import FIGURE2_STRATEGIES, figure2, figure2_series
+from repro.harness import FIGURE2_STRATEGIES, figure2, figure2_series, make_executor
 from repro.metrics import PAPER_PERCENTILES
 
 
@@ -29,6 +30,9 @@ def main() -> None:
                         help="paper scale: 500k tasks x 6 seeds")
     parser.add_argument("--out", type=str, default=None,
                         help="write raw results as JSON to this path")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="fan the strategy x seed grid over N worker "
+                             "processes (0 = all cores); output is identical")
     args = parser.parse_args()
 
     n_tasks = 500_000 if args.full else args.tasks
@@ -38,7 +42,9 @@ def main() -> None:
     print(f"strategies: {', '.join(FIGURE2_STRATEGIES)}")
     print()
 
-    comparison = figure2(n_tasks=n_tasks, seeds=seeds)
+    comparison = figure2(
+        n_tasks=n_tasks, seeds=seeds, executor=make_executor(jobs=args.jobs)
+    )
 
     summaries = {n: comparison.summary_of(n) for n in FIGURE2_STRATEGIES}
     print(percentile_matrix(

@@ -3,11 +3,18 @@
 Commands
 --------
 ``run``        run one experiment (optionally a named scenario)
+``sweep``      run a (value x strategy x seed) grid, optionally in parallel
 ``figure1``    the paper's toy example (deterministic)
 ``figure2``    the headline evaluation across strategies and seeds
 ``trace``      generate / inspect workload traces
 ``strategies`` list the registered strategy builders
 ``scenarios``  list the registered workload scenarios
+
+Grid commands (``run`` with several seeds, ``sweep``, ``figure2``) accept
+``--jobs N`` to fan independent simulation runs over ``N`` worker
+processes and ``--cache [DIR]`` to reuse completed (config, strategy,
+seed) cells from an on-disk cache; results are identical to serial runs
+(see ``repro.harness.parallel``).
 """
 
 from __future__ import annotations
@@ -21,15 +28,31 @@ from .harness import (
     ExperimentConfig,
     FIGURE2_STRATEGIES,
     KNOWN_STRATEGIES,
+    compare_strategies,
     figure1_toy,
     figure2,
     figure2_series,
     get_builder,
-    run_experiment,
+    make_executor,
+    run_seeds,
+    sweep,
 )
 from .metrics import PAPER_PERCENTILES
 from .scenarios import SCENARIOS, get_scenario, scenario_names
 from .workload import load_trace, make_soundcloud_workload, save_trace, trace_stats
+
+
+def _add_parallel_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan runs over N worker processes (0 = all cores; "
+                        "default serial)")
+    p.add_argument("--cache", nargs="?", const="", default=None, metavar="DIR",
+                   help="reuse completed runs from an on-disk cache "
+                        "(default dir: $REPRO_CACHE_DIR or ./.repro-cache)")
+
+
+def _executor_from(args: argparse.Namespace):
+    return make_executor(jobs=args.jobs, cache_dir=args.cache)
 
 
 def _add_run(subparsers: argparse._SubParsersAction) -> None:
@@ -39,12 +62,15 @@ def _add_run(subparsers: argparse._SubParsersAction) -> None:
                    help="run a named scenario (workload + fault schedule)")
     p.add_argument("--tasks", type=int, default=5000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seeds", type=int, default=1, metavar="K",
+                   help="repeat under K consecutive seeds (starting at --seed)")
     p.add_argument("--load", type=float, default=None,
                    help="offered load as a fraction of capacity")
     p.add_argument("--fanout", type=float, default=None,
                    help="mean requests per task")
     p.add_argument("--slow-server", type=int, default=None,
                    help="inject a 3x slowdown on this server id")
+    _add_parallel_flags(p)
     p.set_defaults(func=_cmd_run)
 
 
@@ -64,15 +90,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = ExperimentConfig(
             strategy=args.strategy, n_tasks=args.tasks, **overrides
         )
+    if args.seeds > 1:
+        seeds = tuple(range(args.seed, args.seed + args.seeds))
+        print(f"running {config.describe()} (seeds {seeds[0]}..{seeds[-1]})")
+        for line in config.faults().describe():
+            print(f"  fault: {line}")
+        runs = run_seeds(config, seeds, executor=_executor_from(args))
+        comparison = compare_strategies({config.strategy: runs})
+        mean = comparison.summary_of(config.strategy)
+        print(mean)
+        spread = comparison.strategies[config.strategy].percentile_spread(99.0)
+        print(f"p99 across seeds: {spread[0] * 1e3:.3f}..{spread[1] * 1e3:.3f} ms")
+        return 0
     print(f"running {config.describe()} (seed {args.seed})")
     for line in config.faults().describe():
         print(f"  fault: {line}")
-    result = run_experiment(config, seed=args.seed)
+    # Through the executor seam even for one seed, so --cache reuses the
+    # cell; with one job the executor runs in-process (no pool overhead).
+    result = run_seeds(config, (args.seed,), executor=_executor_from(args))[0]
     print(result.summary((50.0, 90.0, 95.0, 99.0, 99.9)))
     rows = [{"metric": k, "value": v} for k, v in sorted(result.extras.items())]
     rows.append({"metric": "events_processed", "value": result.events_processed})
     rows.append({"metric": "sim_duration_s", "value": result.sim_duration})
     print(render_table(rows))
+    return 0
+
+
+def _parse_sweep_value(raw: str) -> _t.Any:
+    """Best-effort literal: int, then float, else the bare string."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _add_sweep(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "sweep", help="run a (value x strategy x seed) grid"
+    )
+    p.add_argument("--parameter", required=True,
+                   help="config field to vary (dotted paths reach nested "
+                        "specs, e.g. cluster.one_way_latency)")
+    p.add_argument("--values", required=True,
+                   help="comma-separated values for the swept parameter")
+    p.add_argument("--strategies", default="c3,unifincr-credits",
+                   help="comma-separated strategy names")
+    p.add_argument("--seeds", type=int, default=1, metavar="K",
+                   help="seed grid 1..K per cell")
+    p.add_argument("--scenario", default=None, choices=scenario_names(),
+                   help="sweep over a named scenario instead of the default config")
+    p.add_argument("--tasks", type=int, default=5000)
+    p.add_argument("--percentile", type=float, default=99.0,
+                   help="percentile column for the rendered table")
+    p.add_argument("--out", type=str, default=None, help="raw JSON output path")
+    _add_parallel_flags(p)
+    p.set_defaults(func=_cmd_sweep)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = [_parse_sweep_value(v) for v in args.values.split(",") if v]
+    strategies = tuple(s for s in args.strategies.split(",") if s)
+    if args.scenario is not None:
+        base: _t.Union[ExperimentConfig, str] = args.scenario
+        n_tasks: _t.Optional[int] = args.tasks
+    else:
+        base = ExperimentConfig(n_tasks=args.tasks)
+        n_tasks = None
+    executor = _executor_from(args)
+    cells = len(values) * len(strategies) * args.seeds
+    print(
+        f"sweeping {args.parameter} over {values}: {cells} cells "
+        f"({len(strategies)} strategies x {args.seeds} seeds) via {executor!r}"
+    )
+    result = sweep(
+        base,
+        parameter=args.parameter,
+        values=values,
+        strategies=strategies,
+        seeds=tuple(range(1, args.seeds + 1)),
+        n_tasks=n_tasks,
+        executor=executor,
+    )
+    print(result.render(args.percentile))
+    if executor.cache is not None:
+        c = executor.cache
+        print(f"cache: {c.hits} hits, {c.misses} misses, {c.stores} stores "
+              f"({c.root})")
+    if args.out:
+        result.save_json(args.out)
+        print(f"raw results -> {args.out}")
     return 0
 
 
@@ -100,12 +208,15 @@ def _add_figure2(subparsers: argparse._SubParsersAction) -> None:
     p.add_argument("--tasks", type=int, default=12_000)
     p.add_argument("--seeds", type=int, default=3)
     p.add_argument("--out", type=str, default=None, help="raw JSON output path")
+    _add_parallel_flags(p)
     p.set_defaults(func=_cmd_figure2)
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
     comparison = figure2(
-        n_tasks=args.tasks, seeds=tuple(range(1, args.seeds + 1))
+        n_tasks=args.tasks,
+        seeds=tuple(range(1, args.seeds + 1)),
+        executor=_executor_from(args),
     )
     summaries = {n: comparison.summary_of(n) for n in FIGURE2_STRATEGIES}
     print(percentile_matrix(
@@ -199,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run(subparsers)
+    _add_sweep(subparsers)
     _add_figure1(subparsers)
     _add_figure2(subparsers)
     _add_trace(subparsers)

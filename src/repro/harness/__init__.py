@@ -15,6 +15,15 @@ from .config import (
     paper_figure2_config,
 )
 from .figures import Figure1Result, figure1_toy, figure2, figure2_series
+from .parallel import (
+    GridExecutor,
+    ProcessExecutor,
+    ResultCache,
+    RunJob,
+    SerialExecutor,
+    config_digest,
+    make_executor,
+)
 from .results import ComparisonResult, StrategyResult, compare_strategies
 from .runner import RunResult, run_experiment, run_seeds
 from .sweep import SweepResult, sweep
@@ -25,16 +34,23 @@ __all__ = [
     "ExperimentConfig",
     "FIGURE2_STRATEGIES",
     "Figure1Result",
+    "GridExecutor",
     "KNOWN_STRATEGIES",
+    "ProcessExecutor",
+    "ResultCache",
+    "RunJob",
     "RunResult",
+    "SerialExecutor",
     "StrategyBuilder",
     "StrategyResult",
     "SweepResult",
     "compare_strategies",
+    "config_digest",
     "figure1_toy",
     "figure2",
     "figure2_series",
     "get_builder",
+    "make_executor",
     "paper_figure2_config",
     "register_strategy",
     "run_experiment",

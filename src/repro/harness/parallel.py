@@ -1,0 +1,360 @@
+"""Parallel experiment execution: fan the run grid across cores.
+
+Every simulation run is a pure function of ``(config, seed)`` -- the
+kernel's virtual clock makes results independent of wall-clock scheduling
+-- so the (value x strategy x seed) grids behind :func:`~repro.harness.
+sweep.sweep`, :func:`~repro.harness.figures.figure2` and
+:func:`~repro.harness.runner.run_seeds` are embarrassingly parallel.
+This module supplies the executor seam those entry points accept:
+
+* :class:`RunJob` -- one picklable grid cell (config + seed).  The
+  strategy travels as a *name* inside the config; worker processes
+  re-resolve it through the builder registry on import, so nothing
+  unpicklable (builders, environments, RNG streams) ever crosses the
+  process boundary.
+* :class:`SerialExecutor` -- runs jobs in-process, in grid order.  This
+  is the default everywhere, and is byte-identical to the pre-seam loops.
+* :class:`ProcessExecutor` -- fans jobs over a
+  :class:`concurrent.futures.ProcessPoolExecutor` and reassembles results
+  in *submission* order regardless of completion order, so parallel
+  output is indistinguishable from serial output.
+* :class:`ResultCache` -- an on-disk cache keyed by a stable digest of
+  (config, strategy, seed), so repeated sweeps skip completed cells.
+
+Determinism argument (also in DESIGN.md): a run never reads global
+mutable state -- all randomness flows from ``StreamFactory(seed)`` keyed
+by stream *names*, and all time is virtual -- so executing cells
+concurrently cannot change any cell's result, and reassembling in grid
+order makes aggregate structures (``ComparisonResult``, ``SweepResult``)
+byte-identical to the serial ones.
+
+Caveat: worker processes import :mod:`repro.harness.builders` afresh, so
+only *built-in* strategies (plus anything registered at import time of
+``repro``) resolve in workers.  Third-party builders registered at
+runtime must either run serially or be importable via their package's
+import side effects.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import typing as _t
+from pathlib import Path
+
+from .config import ExperimentConfig
+from .runner import RunResult, run_experiment
+
+#: Bump when RunResult / config semantics change in a way that invalidates
+#: previously cached results.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ---------------------------------------------------------------------------
+# Job specs and digests
+# ---------------------------------------------------------------------------
+
+
+def _canonical(obj: _t.Any) -> _t.Any:
+    """Recursively reduce a value to JSON-stable primitives."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot build a stable digest over {type(obj).__name__!r}; "
+        "config fields must be dataclasses or JSON primitives"
+    )
+
+
+def config_digest(config: ExperimentConfig, seed: int) -> str:
+    """Stable hex digest of one (config, strategy, seed) grid cell.
+
+    The digest is a SHA-256 over the canonical JSON form of the config
+    (nested dataclasses included, so fault schedules and topology count)
+    plus the seed and a format version.  Equal configs digest equally
+    across processes and interpreter sessions; any field change -- however
+    deep -- changes the digest.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "seed": int(seed),
+        "config": _canonical(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class RunJob:
+    """One cell of a run grid: a picklable (config, seed) spec."""
+
+    config: ExperimentConfig
+    seed: int
+
+    @property
+    def strategy(self) -> str:
+        return self.config.strategy
+
+    def digest(self) -> str:
+        return config_digest(self.config, self.seed)
+
+    def execute(self) -> RunResult:
+        """Run this cell in the current process."""
+        return run_experiment(self.config, self.seed)
+
+
+def _execute_job(job: RunJob) -> RunResult:
+    """Module-level worker entry point (must be picklable by name)."""
+    return job.execute()
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Pickle-per-cell cache of :class:`RunResult` keyed by job digest.
+
+    Layout: ``<root>/<digest[:2]>/<digest>.pkl``.  Writes go through a
+    same-directory temporary file + :func:`os.replace`, so concurrent
+    writers (parallel workers, or two sweeps racing) can never leave a
+    truncated entry behind; corrupt or unreadable entries read as misses.
+    """
+
+    def __init__(self, root: _t.Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, job: RunJob) -> _t.Optional[RunResult]:
+        path = self._path(job.digest())
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # Unpickling a stale or garbled entry can raise nearly anything
+            # (UnpicklingError, EOFError, ModuleNotFoundError after a
+            # rename, ...); every such entry must read as a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _t.cast(RunResult, result)
+
+    def put(self, job: RunJob, result: RunResult) -> None:
+        path = self._path(job.digest())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {self.root} hits={self.hits} "
+            f"misses={self.misses} stores={self.stores}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class GridExecutor:
+    """Runs a list of :class:`RunJob` cells, preserving grid order.
+
+    Subclasses override :meth:`_run_uncached`; the base class handles the
+    cache lookup/fill so serial and parallel execution share one cache
+    policy.
+    """
+
+    def __init__(self, cache: _t.Optional[ResultCache] = None) -> None:
+        self.cache = cache
+
+    def run_jobs(self, jobs: _t.Sequence[RunJob]) -> _t.List[RunResult]:
+        """Execute every job; results align index-for-index with ``jobs``."""
+        jobs = list(jobs)
+        results: _t.List[_t.Optional[RunResult]] = [None] * len(jobs)
+        pending: _t.List[_t.Tuple[int, RunJob]] = []
+        if self.cache is not None:
+            for i, job in enumerate(jobs):
+                hit = self.cache.get(job)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    pending.append((i, job))
+        else:
+            pending = list(enumerate(jobs))
+        if pending:
+            fresh = self._run_uncached([job for _, job in pending])
+            if len(fresh) != len(pending):
+                raise RuntimeError(
+                    f"{type(self).__name__} returned {len(fresh)} results "
+                    f"for {len(pending)} jobs"
+                )
+            for (i, _job), result in zip(pending, fresh):
+                results[i] = result
+        return _t.cast(_t.List[RunResult], results)
+
+    def _store(self, job: RunJob, result: RunResult) -> None:
+        """Persist one finished cell immediately (interruption-safe)."""
+        if self.cache is not None:
+            self.cache.put(job, result)
+
+    def _run_uncached(self, jobs: _t.Sequence[RunJob]) -> _t.List[RunResult]:
+        """Run cache-missed jobs; implementations call :meth:`_store` per
+        completed cell so an interrupted grid keeps its finished work."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class SerialExecutor(GridExecutor):
+    """In-process execution in grid order (the default everywhere)."""
+
+    jobs = 1
+
+    def _run_uncached(self, jobs: _t.Sequence[RunJob]) -> _t.List[RunResult]:
+        results = []
+        for job in jobs:
+            result = job.execute()
+            self._store(job, result)
+            results.append(result)
+        return results
+
+    def __repr__(self) -> str:
+        return "<SerialExecutor>"
+
+
+class ProcessExecutor(GridExecutor):
+    """Fan jobs over a process pool; reassemble in submission order.
+
+    ``jobs`` is the worker count (defaults to the machine's core count).
+    Completion order is nondeterministic, but results are keyed back to
+    their submission index, so callers observe exactly the serial order.
+    """
+
+    def __init__(
+        self,
+        jobs: _t.Optional[int] = None,
+        cache: _t.Optional[ResultCache] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"need at least one worker, got {jobs}")
+        self.jobs = jobs
+
+    def _run_uncached(self, jobs: _t.Sequence[RunJob]) -> _t.List[RunResult]:
+        if len(jobs) == 1 or self.jobs == 1:
+            # Nothing to fan out; skip the pool (and its fork overhead).
+            results = []
+            for job in jobs:
+                result = job.execute()
+                self._store(job, result)
+                results.append(result)
+            return results
+        slots: _t.List[_t.Optional[RunResult]] = [None] * len(jobs)
+        workers = min(self.jobs, len(jobs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_job, job): i for i, job in enumerate(jobs)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                self._store(jobs[index], result)
+                slots[index] = result
+        return _t.cast(_t.List[RunResult], slots)
+
+    def __repr__(self) -> str:
+        return f"<ProcessExecutor jobs={self.jobs}>"
+
+
+def make_executor(
+    jobs: _t.Optional[int] = None,
+    cache_dir: _t.Union[str, Path, None] = None,
+) -> GridExecutor:
+    """The CLI's executor factory: ``--jobs N [--cache DIR]`` semantics.
+
+    ``jobs`` of ``None`` or ``1`` gives the serial executor; anything
+    larger gives a process pool; ``0`` means "all cores".  ``cache_dir``
+    enables the on-disk cache (pass ``""`` to use the default location).
+    """
+    cache: _t.Optional[ResultCache] = None
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir or None)
+    if jobs is None or jobs == 1:
+        return SerialExecutor(cache=cache)
+    if jobs == 0:
+        return ProcessExecutor(cache=cache)
+    return ProcessExecutor(jobs=jobs, cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# Grid enumeration / merging
+# ---------------------------------------------------------------------------
+
+
+def enumerate_run_grid(
+    configs: _t.Sequence[_t.Mapping[str, ExperimentConfig]],
+    seeds: _t.Sequence[int],
+) -> _t.List[RunJob]:
+    """Flatten [{strategy: config}, ...] x seeds into grid-ordered jobs.
+
+    ``configs`` is one strategy->config mapping per swept value, *as a
+    sequence* so repeated values stay distinct cells.  Grid order is
+    value-major, then strategy, then seed -- the exact order the serial
+    nested loops ran, which is what keeps merged results byte-identical.
+    """
+    return [
+        RunJob(config=config, seed=seed)
+        for value_configs in configs
+        for config in value_configs.values()
+        for seed in seeds
+    ]
+
+
+def split_by_strategy(
+    results: _t.Sequence[RunResult],
+    strategies: _t.Sequence[str],
+    n_seeds: int,
+) -> _t.Dict[str, _t.List[RunResult]]:
+    """Regroup one value's flat result block into per-strategy run lists."""
+    if len(results) != len(strategies) * n_seeds:
+        raise ValueError(
+            f"grid block of {len(results)} results does not tile "
+            f"{len(strategies)} strategies x {n_seeds} seeds"
+        )
+    out: _t.Dict[str, _t.List[RunResult]] = {}
+    for s, name in enumerate(strategies):
+        out[name] = list(results[s * n_seeds : (s + 1) * n_seeds])
+    return out

@@ -93,6 +93,15 @@ class ComparisonResult:
             }
         return out
 
+    def canonical_json(self) -> str:
+        """Key-sorted compact JSON of :meth:`to_dict`.
+
+        Two comparisons are *equivalent* exactly when these strings are
+        byte-identical; the serial-vs-parallel differential tests and the
+        result cache's equivalence checks all compare through this form.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
     def save_json(self, path: _t.Union[str, Path]) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
 

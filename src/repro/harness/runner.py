@@ -231,9 +231,24 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
 
 
 def run_seeds(
-    config: ExperimentConfig, seeds: _t.Sequence[int]
+    config: ExperimentConfig,
+    seeds: _t.Sequence[int],
+    executor: _t.Optional["GridExecutor"] = None,
 ) -> _t.List[RunResult]:
-    """Run the same experiment under several seeds (paper: 6 repetitions)."""
+    """Run the same experiment under several seeds (paper: 6 repetitions).
+
+    ``executor`` (see :mod:`repro.harness.parallel`) fans the seeds across
+    worker processes; the default runs them serially, in seed order.
+    Results are returned in seed order either way.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return [run_experiment(config, seed) for seed in seeds]
+    if executor is None:
+        return [run_experiment(config, seed) for seed in seeds]
+    from .parallel import RunJob  # local import: parallel sits above runner
+
+    return executor.run_jobs([RunJob(config=config, seed=seed) for seed in seeds])
+
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .parallel import GridExecutor

@@ -31,6 +31,7 @@ runs over that scenario's workload and fault schedule::
 from __future__ import annotations
 
 import dataclasses
+import json
 import typing as _t
 
 from ..analysis.tables import render_table
@@ -44,18 +45,36 @@ from .runner import run_seeds
 def _replace_parameter(
     config: ExperimentConfig, parameter: str, value: _t.Any
 ) -> ExperimentConfig:
-    """Return a config copy with ``parameter`` (possibly dotted) set."""
-    if "." not in parameter:
-        if not hasattr(config, parameter):
-            raise ValueError(f"unknown config field {parameter!r}")
-        return dataclasses.replace(config, **{parameter: value})
-    head, rest = parameter.split(".", 1)
-    if head != "cluster" or "." in rest:
-        raise ValueError(f"unsupported parameter path {parameter!r}")
-    if not hasattr(config.cluster, rest):
-        raise ValueError(f"unknown cluster field {rest!r}")
-    new_cluster = dataclasses.replace(config.cluster, **{rest: value})
-    return dataclasses.replace(config, cluster=new_cluster)
+    """Return a config copy with ``parameter`` (possibly dotted) set.
+
+    Dotted paths descend through nested dataclasses to arbitrary depth
+    (``cluster.one_way_latency``, or deeper once topology grows nested
+    specs); each intermediate segment must name a dataclass field whose
+    value is itself a dataclass.
+    """
+    parts = parameter.split(".")
+    if not all(parts):
+        raise ValueError(f"malformed parameter path {parameter!r}")
+
+    def _rebuild(obj: _t.Any, path: _t.Sequence[str], prefix: str) -> _t.Any:
+        here = f"{prefix}.{path[0]}" if prefix else path[0]
+        if not dataclasses.is_dataclass(obj):
+            raise ValueError(
+                f"cannot descend into {prefix!r}: "
+                f"{type(obj).__name__} is not a dataclass"
+            )
+        names = tuple(f.name for f in dataclasses.fields(obj))
+        if path[0] not in names:
+            raise ValueError(
+                f"unknown config field {here!r}; "
+                f"{type(obj).__name__} has: {', '.join(names)}"
+            )
+        if len(path) == 1:
+            return dataclasses.replace(obj, **{path[0]: value})
+        inner = _rebuild(getattr(obj, path[0]), path[1:], here)
+        return dataclasses.replace(obj, **{path[0]: inner})
+
+    return _t.cast(ExperimentConfig, _rebuild(config, parts, ""))
 
 
 @dataclasses.dataclass
@@ -112,6 +131,17 @@ class SweepResult:
             },
         }
 
+    def canonical_json(self) -> str:
+        """Key-sorted compact JSON -- the differential harness's yardstick."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def save_json(self, path: _t.Union[str, "Path"]) -> None:
+        from pathlib import Path as _Path
+
+        _Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2), encoding="utf-8"
+        )
+
 
 def sweep(
     base: _t.Union[ExperimentConfig, str],
@@ -121,11 +151,15 @@ def sweep(
     seeds: _t.Sequence[int] = (1,),
     percentiles: _t.Tuple[float, ...] = PAPER_PERCENTILES,
     n_tasks: _t.Optional[int] = None,
+    executor: _t.Optional["GridExecutor"] = None,
 ) -> SweepResult:
     """Run the full (value x strategy x seed) grid.
 
     ``base`` is either a ready :class:`ExperimentConfig` or the name of a
     registered scenario; ``n_tasks`` (scenario mode only) scales the run.
+    ``executor`` (see :mod:`repro.harness.parallel`) fans the *whole* grid
+    -- not one value at a time -- across workers; results are merged back
+    in grid order, so the output is byte-identical to a serial sweep.
     """
     if isinstance(base, str):
         from ..scenarios import get_scenario  # local import: scenarios sit above
@@ -139,19 +173,51 @@ def sweep(
         raise ValueError("sweep needs at least one strategy")
     for name in strategies:
         get_builder(name)  # fail fast with the registry's helpful error
-    comparisons: _t.Dict[_t.Any, ComparisonResult] = {}
+
+    # One strategy->config mapping per swept value, as a *list* so a
+    # repeated value stays its own grid cell (exactly like the serial loop,
+    # where the later duplicate overwrites the earlier in `comparisons`).
+    grid_configs: _t.List[_t.Dict[str, ExperimentConfig]] = []
     for value in values:
         config = _replace_parameter(base, parameter, value)
-        comparisons[value] = compare_strategies(
-            {
-                name: run_seeds(config.with_strategy(name), seeds)
-                for name in strategies
-            },
-            percentiles=percentiles,
+        grid_configs.append(
+            {name: config.with_strategy(name) for name in strategies}
         )
+
+    comparisons: _t.Dict[_t.Any, ComparisonResult] = {}
+    if executor is None:
+        for value, value_configs in zip(values, grid_configs):
+            comparisons[value] = compare_strategies(
+                {
+                    name: run_seeds(config, seeds)
+                    for name, config in value_configs.items()
+                },
+                percentiles=percentiles,
+            )
+    else:
+        from .parallel import enumerate_run_grid, split_by_strategy
+
+        jobs = enumerate_run_grid(grid_configs, seeds)
+        results = executor.run_jobs(jobs)
+        block = len(strategies) * len(seeds)
+        for v, value in enumerate(values):
+            comparisons[value] = compare_strategies(
+                split_by_strategy(
+                    results[v * block : (v + 1) * block],
+                    strategies,
+                    len(seeds),
+                ),
+                percentiles=percentiles,
+            )
     return SweepResult(
         parameter=parameter,
         values=tuple(values),
         strategies=tuple(strategies),
         comparisons=comparisons,
     )
+
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+    from .parallel import GridExecutor

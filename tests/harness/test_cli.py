@@ -85,6 +85,70 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean_fanout" in out
 
+    def test_run_single_seed_honors_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["run", "--strategy", "oblivious-random", "--tasks", "150",
+                "--cache", str(cache_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second  # cached cell reproduces the run exactly
+        assert any(cache_dir.rglob("*.pkl"))
+
+    def test_run_multi_seed_with_jobs(self, capsys):
+        assert main([
+            "run", "--strategy", "oblivious-random", "--tasks", "150",
+            "--seeds", "2", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seeds 1..2" in out
+        assert "p99 across seeds" in out
+
+    def test_sweep_serial(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--parameter", "load", "--values", "0.4,0.7",
+            "--strategies", "oblivious-random,oblivious-lor",
+            "--tasks", "150", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep over load" in out
+        data = json.loads(out_path.read_text())
+        assert data["values"] == [0.4, 0.7]
+        assert set(data["points"]) == {"0.4", "0.7"}
+
+    def test_sweep_parallel_with_cache_matches_serial(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        argv_tail = [
+            "--parameter", "load", "--values", "0.5",
+            "--strategies", "oblivious-random", "--tasks", "150",
+        ]
+        assert main(["sweep", *argv_tail, "--out", str(serial_out)]) == 0
+        assert main([
+            "sweep", *argv_tail, "--jobs", "2",
+            "--cache", str(cache_dir), "--out", str(parallel_out),
+        ]) == 0
+        assert "cache: 0 hits, 1 misses, 1 stores" in capsys.readouterr().out
+        assert json.loads(serial_out.read_text()) == json.loads(
+            parallel_out.read_text()
+        )
+        # Third run: every cell served from cache.
+        assert main([
+            "sweep", *argv_tail, "--cache", str(cache_dir),
+        ]) == 0
+        assert "cache: 1 hits, 0 misses, 0 stores" in capsys.readouterr().out
+
+    def test_sweep_scenario_base(self, capsys):
+        assert main([
+            "sweep", "--scenario", "hotspot-skew", "--parameter", "zipf_skew",
+            "--values", "0.9,1.1", "--strategies", "oblivious-random",
+            "--tasks", "150",
+        ]) == 0
+        assert "sweep over zipf_skew" in capsys.readouterr().out
+
     def test_figure2_tiny(self, tmp_path, capsys):
         out_path = tmp_path / "fig2.json"
         assert main([

@@ -1,0 +1,227 @@
+"""Unit tests for the parallel grid executor, job digests and cache."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.harness import ExperimentConfig
+from repro.harness.parallel import (
+    ProcessExecutor,
+    ResultCache,
+    RunJob,
+    SerialExecutor,
+    config_digest,
+    enumerate_run_grid,
+    make_executor,
+    split_by_strategy,
+)
+from repro.scenarios import get_scenario
+
+TINY = ExperimentConfig(strategy="oblivious-random", n_tasks=60, n_keys=500)
+
+
+class TestDigest:
+    def test_stable_across_equal_configs(self):
+        a = config_digest(ExperimentConfig(n_tasks=100), 1)
+        b = config_digest(ExperimentConfig(n_tasks=100), 1)
+        assert a == b
+
+    def test_sensitive_to_seed_and_fields(self):
+        base = config_digest(TINY, 1)
+        assert config_digest(TINY, 2) != base
+        assert config_digest(dataclasses.replace(TINY, load=0.5), 1) != base
+
+    def test_sensitive_to_nested_fields(self):
+        slow = dataclasses.replace(
+            TINY, cluster=dataclasses.replace(TINY.cluster, one_way_latency=1e-3)
+        )
+        assert config_digest(slow, 1) != config_digest(TINY, 1)
+
+    def test_sensitive_to_fault_schedule(self):
+        faulty = get_scenario("straggler").build_config(
+            strategy="oblivious-random", n_tasks=60
+        )
+        clean = get_scenario("steady-state").build_config(
+            strategy="oblivious-random", n_tasks=60
+        )
+        assert config_digest(faulty, 1) != config_digest(clean, 1)
+
+    def test_is_hex_sha256(self):
+        digest = config_digest(TINY, 1)
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestRunJob:
+    def test_jobs_pickle(self):
+        job = RunJob(config=TINY, seed=3)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+        assert clone.digest() == job.digest()
+
+    def test_scenario_configs_pickle(self):
+        for name in ("straggler", "flash-crowd", "crash-restart"):
+            config = get_scenario(name).build_config(
+                strategy="oblivious-lor", n_tasks=50
+            )
+            job = RunJob(config=config, seed=1)
+            assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_execute_matches_run_experiment(self):
+        from repro.harness import run_experiment
+
+        direct = run_experiment(TINY, seed=2)
+        via_job = RunJob(config=TINY, seed=2).execute()
+        assert via_job.task_latencies.values() == direct.task_latencies.values()
+        assert via_job.extras == direct.extras
+
+
+class TestExecutors:
+    def _grid(self):
+        return [
+            RunJob(config=TINY.with_strategy(s), seed=seed)
+            for s in ("oblivious-random", "oblivious-lor")
+            for seed in (1, 2)
+        ]
+
+    def test_serial_preserves_grid_order(self):
+        jobs = self._grid()
+        results = SerialExecutor().run_jobs(jobs)
+        assert [(r.config.strategy, r.seed) for r in results] == [
+            (j.config.strategy, j.seed) for j in jobs
+        ]
+
+    def test_process_pool_matches_serial(self):
+        jobs = self._grid()
+        serial = SerialExecutor().run_jobs(jobs)
+        parallel = ProcessExecutor(jobs=2).run_jobs(jobs)
+        for s, p in zip(serial, parallel):
+            assert s.seed == p.seed
+            assert s.config == p.config
+            assert s.task_latencies.values() == p.task_latencies.values()
+            assert s.extras == p.extras
+
+    def test_process_executor_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(jobs=-1)
+
+    def test_make_executor_mapping(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ProcessExecutor)
+        assert make_executor(4).jobs == 4
+        assert isinstance(make_executor(0), ProcessExecutor)  # all cores
+        assert make_executor(None).cache is None
+
+    def test_make_executor_cache_dir(self, tmp_path):
+        ex = make_executor(1, cache_dir=tmp_path / "c")
+        assert ex.cache is not None
+        assert ex.cache.root == tmp_path / "c"
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = RunJob(config=TINY, seed=1)
+        assert cache.get(job) is None
+        result = job.execute()
+        cache.put(job, result)
+        cached = cache.get(job)
+        assert cached is not None
+        assert cached.task_latencies.values() == result.task_latencies.values()
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = RunJob(config=TINY, seed=1)
+        cache.put(job, job.execute())
+        path = cache._path(job.digest())
+        path.write_bytes(b"not a pickle")
+        assert cache.get(job) is None
+
+    def test_executor_skips_cached_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [RunJob(config=TINY, seed=s) for s in (1, 2)]
+        ex = SerialExecutor(cache=cache)
+        first = ex.run_jobs(jobs)
+        second = ex.run_jobs(jobs)
+        assert cache.stores == 2
+        assert cache.hits == 2
+        for a, b in zip(first, second):
+            assert a.task_latencies.values() == b.task_latencies.values()
+
+    def test_default_root_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert ResultCache().root == tmp_path / "envcache"
+
+    def test_cells_stored_as_completed_not_at_batch_end(self, tmp_path):
+        """An interrupted grid must keep its finished cells in the cache."""
+        cache = ResultCache(tmp_path)
+        boom = RunJob(config=TINY.with_strategy("oblivious-lor"), seed=2)
+
+        class Exploding(SerialExecutor):
+            def _run_uncached(self, jobs):
+                results = []
+                for job in jobs:
+                    if job == boom:
+                        raise KeyboardInterrupt  # simulate Ctrl-C mid-grid
+                    result = job.execute()
+                    self._store(job, result)
+                    results.append(result)
+                return results
+
+        jobs = [RunJob(config=TINY, seed=1), boom]
+        with pytest.raises(KeyboardInterrupt):
+            Exploding(cache=cache).run_jobs(jobs)
+        assert cache.stores == 1  # the completed cell survived
+        assert cache.get(jobs[0]) is not None
+
+    def test_stale_unpicklable_entry_reads_as_miss(self, tmp_path):
+        """Entries whose classes no longer import must not crash the sweep."""
+        cache = ResultCache(tmp_path)
+        job = RunJob(config=TINY, seed=1)
+        path = cache._path(job.digest())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A pickle referencing a module that does not exist anymore.
+        path.write_bytes(
+            b"\x80\x04\x95\x1e\x00\x00\x00\x00\x00\x00\x00\x8c\x0cgone_module1"
+            b"\x94\x8c\x07Missing\x94\x93\x94."
+        )
+        assert cache.get(job) is None
+
+    def test_short_uncached_batch_raises_immediately(self):
+        class Short(SerialExecutor):
+            def _run_uncached(self, jobs):
+                return []
+
+        with pytest.raises(RuntimeError, match="returned 0 results for 2 jobs"):
+            Short().run_jobs([RunJob(config=TINY, seed=s) for s in (1, 2)])
+
+
+class TestGridHelpers:
+    def test_enumerate_order_is_value_strategy_seed(self):
+        per_value = {"a": TINY, "b": TINY.with_strategy("oblivious-lor")}
+        jobs = enumerate_run_grid([per_value, per_value], seeds=(1, 2))
+        coords = [(j.config.strategy, j.seed) for j in jobs]
+        assert coords == [
+            ("oblivious-random", 1), ("oblivious-random", 2),
+            ("oblivious-lor", 1), ("oblivious-lor", 2),
+        ] * 2
+
+    def test_split_by_strategy_tiles(self):
+        jobs = [
+            RunJob(config=TINY.with_strategy(s), seed=seed)
+            for s in ("oblivious-random", "oblivious-lor")
+            for seed in (1, 2)
+        ]
+        results = SerialExecutor().run_jobs(jobs)
+        grouped = split_by_strategy(results, ("oblivious-random", "oblivious-lor"), 2)
+        assert [r.seed for r in grouped["oblivious-random"]] == [1, 2]
+        assert all(
+            r.config.strategy == "oblivious-lor" for r in grouped["oblivious-lor"]
+        )
+
+    def test_split_rejects_ragged_blocks(self):
+        with pytest.raises(ValueError, match="does not tile"):
+            split_by_strategy([], ("a",), 2)

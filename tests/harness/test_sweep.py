@@ -26,6 +26,53 @@ class TestReplaceParameter:
         with pytest.raises(ValueError):
             _replace_parameter(ExperimentConfig(), "workload.load", 1)
 
+    def test_unknown_top_level_message_names_field_and_candidates(self):
+        with pytest.raises(ValueError) as exc:
+            _replace_parameter(ExperimentConfig(), "does_not_exist", 1)
+        msg = str(exc.value)
+        assert "unknown config field 'does_not_exist'" in msg
+        assert "ExperimentConfig" in msg
+        assert "n_tasks" in msg  # candidates listed
+
+    def test_unknown_nested_message_shows_full_path(self):
+        with pytest.raises(ValueError) as exc:
+            _replace_parameter(ExperimentConfig(), "cluster.warp_factor", 1)
+        msg = str(exc.value)
+        assert "unknown config field 'cluster.warp_factor'" in msg
+        assert "ClusterSpec" in msg
+        assert "n_servers" in msg
+
+    def test_descending_into_non_dataclass_rejected(self):
+        with pytest.raises(ValueError, match="cannot descend into 'load'"):
+            _replace_parameter(ExperimentConfig(), "load.deeper", 1)
+
+    def test_malformed_paths_rejected(self):
+        for path in ("cluster.", ".load", "cluster..n_servers"):
+            with pytest.raises(ValueError, match="malformed parameter path"):
+                _replace_parameter(ExperimentConfig(), path, 1)
+
+    def test_arbitrary_depth_via_nested_dataclass(self):
+        """Paths deeper than one level work for any dataclass chain."""
+        import dataclasses as dc
+
+        @dc.dataclass(frozen=True)
+        class Inner:
+            knob: int = 1
+
+        @dc.dataclass(frozen=True)
+        class Middle:
+            inner: Inner = dc.field(default_factory=Inner)
+
+        @dc.dataclass(frozen=True)
+        class Outer:
+            middle: Middle = dc.field(default_factory=Middle)
+
+        out = _replace_parameter(Outer(), "middle.inner.knob", 7)
+        assert out.middle.inner.knob == 7
+        with pytest.raises(ValueError) as exc:
+            _replace_parameter(Outer(), "middle.inner.missing", 7)
+        assert "unknown config field 'middle.inner.missing'" in str(exc.value)
+
 
 class TestSweep:
     @pytest.fixture(scope="class")
