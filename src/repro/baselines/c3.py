@@ -37,8 +37,8 @@ import math
 import typing as _t
 
 from ..cluster.messages import RequestMessage, ResponseMessage
+from ..core.clock import Clock
 from ..metrics.timeseries import EwmaEstimator, WindowedRate
-from ..sim.engine import Environment
 from ..sim.rng import Stream
 from .selectors import ReplicaSelector
 
@@ -60,7 +60,7 @@ class CubicRateLimiter:
 
     def __init__(
         self,
-        env: Environment,
+        env: Clock,
         initial_rate: float = 1000.0,
         beta: float = DEFAULT_BETA,
         gamma: float = DEFAULT_GAMMA,
@@ -158,7 +158,7 @@ class C3State:
     )
 
     def __init__(
-        self, env: Environment, rate_window: float, initial_rate: float
+        self, env: Clock, rate_window: float, initial_rate: float
     ) -> None:
         self.response_time = EwmaEstimator(DEFAULT_SMOOTHING)
         self.service_time = EwmaEstimator(DEFAULT_SMOOTHING)
@@ -181,7 +181,7 @@ class C3Selector(ReplicaSelector):
 
     def __init__(
         self,
-        env: Environment,
+        env: Clock,
         concurrency_weight: float,
         stream: Stream,
         rate_window: float = 0.2,

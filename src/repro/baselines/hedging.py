@@ -19,7 +19,7 @@ import typing as _t
 from ..cluster.client import DispatchStrategy
 from ..cluster.messages import RequestMessage, ResponseMessage
 from ..cluster.partitioner import Placement
-from ..cluster.server import client_address, server_address
+from ..cluster.addresses import client_address, server_address
 from ..metrics.histogram import LogHistogram
 from ..metrics.timeseries import WindowedRate
 from ..workload.calibration import ServiceTimeModel

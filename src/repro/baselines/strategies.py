@@ -13,7 +13,7 @@ import typing as _t
 from ..cluster.client import DispatchStrategy
 from ..cluster.messages import RequestMessage, ResponseMessage
 from ..cluster.partitioner import Placement
-from ..cluster.server import client_address, server_address
+from ..cluster.addresses import client_address, server_address
 from ..workload.calibration import ServiceTimeModel
 from ..workload.tasks import Task
 from .c3 import C3Selector

@@ -6,9 +6,13 @@ Commands
 ``sweep``      run a (value x strategy x seed) grid, optionally in parallel
 ``figure1``    the paper's toy example (deterministic)
 ``figure2``    the headline evaluation across strategies and seeds
+``serve``      start the live asyncio multiget KV service
+``loadgen``    drive a live service with a scenario's workload + faults
+``compare``    sim vs live differential for one scenario
 ``trace``      generate / inspect workload traces
+``cache``      inspect / clear the on-disk result cache
 ``strategies`` list the registered strategy builders
-``scenarios``  list the registered workload scenarios
+``scenarios``  list the registered workload scenarios (``--json`` for tools)
 
 Grid commands (``run`` with several seeds, ``sweep``, ``figure2``) accept
 ``--jobs N`` to fan independent simulation runs over ``N`` worker
@@ -20,6 +24,7 @@ seed) cells from an on-disk cache; results are identical to serial runs
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing as _t
 
@@ -28,6 +33,7 @@ from .harness import (
     ExperimentConfig,
     FIGURE2_STRATEGIES,
     KNOWN_STRATEGIES,
+    ResultCache,
     compare_strategies,
     figure1_toy,
     figure2,
@@ -261,6 +267,231 @@ def _cmd_trace_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "serve", help="start the live asyncio multiget KV service"
+    )
+    p.add_argument("--scenario", default="steady-state", choices=scenario_names(),
+                   help="cluster shape + service calibration to serve")
+    p.add_argument("--host", default=None, help="bind address (default loopback)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (0 = ephemeral; default 7411)")
+    p.add_argument("--time-scale", type=float, default=None, metavar="S",
+                   help="wall seconds per model second (default 25)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed for the service-time noise streams")
+    p.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, DEFAULT_TIME_SCALE, run_server
+
+    config = get_scenario(args.scenario).build_config()
+    time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+
+    def ready(server) -> None:
+        print(
+            f"serving scenario {args.scenario!r} on "
+            f"{server.host}:{server.port} "
+            f"({server.cluster.n_servers} workers x "
+            f"{server.cluster.cores_per_server} cores, "
+            f"time scale {time_scale:g}x)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run_server(
+                config,
+                time_scale=time_scale,
+                seed=args.seed,
+                host=args.host if args.host is not None else DEFAULT_HOST,
+                port=args.port if args.port is not None else DEFAULT_PORT,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _add_loadgen(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "loadgen", help="drive a live service with a scenario workload"
+    )
+    p.add_argument("--scenario", default="steady-state", choices=scenario_names())
+    p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
+    p.add_argument("--tasks", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seeds", type=int, default=1, metavar="K",
+                   help="repeat under K consecutive seeds (starting at --seed)")
+    p.add_argument("--host", default=None)
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock safety timeout per run (seconds)")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the summary JSON (sim-identical schema) here")
+    p.set_defaults(func=_cmd_loadgen)
+
+
+def _reject_model_strategies(strategies: _t.Iterable[str]) -> _t.Optional[str]:
+    """Clean CLI message for strategies with no live realization."""
+    from .harness.builders import ModelBuilder
+
+    for name in strategies:
+        if isinstance(get_builder(name), ModelBuilder):
+            return (
+                f"strategy {name!r} is the unrealizable global-queue model; "
+                "it cannot run live (pick a -credits realization or a "
+                "baseline)"
+            )
+    return None
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .loadgen import LiveTransportError, live_summary, run_live_seeds
+    from .serve import DEFAULT_HOST, DEFAULT_PORT
+
+    message = _reject_model_strategies((args.strategy,))
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    config = get_scenario(args.scenario).build_config(
+        strategy=args.strategy, n_tasks=args.tasks
+    )
+    seeds = tuple(range(args.seed, args.seed + args.seeds))
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    print(f"loadgen: {config.describe()} (seeds {list(seeds)}) -> {host}:{port}")
+    for line in config.faults().describe():
+        print(f"  fault: {line}")
+    try:
+        results = asyncio.run(
+            run_live_seeds(
+                config, seeds, host=host, port=port, wall_timeout=args.timeout
+            )
+        )
+    except (ConnectionError, OSError, LiveTransportError) as exc:
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        return 1
+    for result in results:
+        print(result.summary((50.0, 90.0, 95.0, 99.0, 99.9)))
+    total = sum(r.tasks_completed for r in results)
+    wall = sum(r.extras.get("live_wall_duration_s", 0.0) for r in results)
+    print(f"completed {total} multigets in {wall:.1f}s wall "
+          f"(time scale {results[0].extras['live_time_scale']:g}x)")
+    summary = live_summary(
+        {config.strategy: results},
+        meta={
+            "realm": "live",
+            "scenario": args.scenario,
+            "n_tasks": args.tasks,
+            "time_scale": results[0].extras["live_time_scale"],
+            "wall_duration_s": wall,
+        },
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(summary, indent=2), encoding="utf-8"
+        )
+        print(f"summary -> {args.out}")
+    return 0
+
+
+def _add_compare(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "compare", help="sim vs live differential for one scenario"
+    )
+    p.add_argument("--scenario", default="steady-state", choices=scenario_names())
+    p.add_argument("--strategy", default="c3,unifincr-credits",
+                   help="comma-separated strategy names")
+    p.add_argument("--tasks", type=int, default=5000)
+    p.add_argument("--seeds", type=int, default=1, metavar="K",
+                   help="seed grid 1..K for both realms")
+    p.add_argument("--time-scale", type=float, default=None, metavar="S",
+                   help="live time stretch (default 25)")
+    p.add_argument("--out", type=str, default=None, help="raw JSON output path")
+    _add_parallel_flags(p)  # applies to the simulated half of the diff
+    p.set_defaults(func=_cmd_compare)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .loadgen import run_compare
+    from .serve import DEFAULT_TIME_SCALE
+
+    strategies = tuple(s for s in args.strategy.split(",") if s)
+    if not strategies:
+        print("need at least one strategy to compare", file=sys.stderr)
+        return 2
+    for name in strategies:
+        if name not in KNOWN_STRATEGIES:
+            print(f"unknown strategy {name!r}", file=sys.stderr)
+            return 2
+    message = _reject_model_strategies(strategies)
+    if message is not None:
+        print(message, file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    print(
+        f"comparing {', '.join(strategies)} on {args.scenario!r}: "
+        f"{args.tasks} tasks x {args.seeds} seed(s), sim then live "
+        f"(loopback, {time_scale:g}x time scale)"
+    )
+    report = run_compare(
+        args.scenario,
+        strategies,
+        n_tasks=args.tasks,
+        seeds=tuple(range(1, args.seeds + 1)),
+        time_scale=time_scale,
+        executor=_executor_from(args),
+    )
+    print(report.render())
+    if args.out:
+        report.save_json(args.out)
+        print(f"raw results -> {args.out}")
+    return 0
+
+
+def _add_cache(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "./.repro-cache)")
+    p.set_defaults(func=_cmd_cache)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache at {stats['root']}: {stats['entries']} entries, "
+          f"{stats['bytes']} bytes")
+    if stats["prefixes"]:
+        rows = [
+            {"digest_prefix": prefix, "entries": count}
+            for prefix, count in sorted(stats["prefixes"].items())
+        ]
+        print(render_table(rows))
+    return 0
+
+
 def _add_strategies(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser("strategies", help="list registered strategies")
     p.set_defaults(func=_cmd_strategies)
@@ -279,10 +510,18 @@ def _add_scenarios(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser("scenarios", help="list registered scenarios")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="show overrides and fault schedules")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable listing (names, workload params, "
+                        "fault events)")
     p.set_defaults(func=_cmd_scenarios)
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.as_json:
+        print(json.dumps(
+            [SCENARIOS[name].to_dict() for name in SCENARIOS], indent=2
+        ))
+        return 0
     for name in SCENARIOS:
         spec = SCENARIOS[name]
         if args.verbose:
@@ -313,7 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep(subparsers)
     _add_figure1(subparsers)
     _add_figure2(subparsers)
+    _add_serve(subparsers)
+    _add_loadgen(subparsers)
+    _add_compare(subparsers)
     _add_trace(subparsers)
+    _add_cache(subparsers)
     _add_strategies(subparsers)
     _add_scenarios(subparsers)
     return parser

@@ -1,0 +1,25 @@
+"""Endpoint addresses shared by every transport realization.
+
+Addresses are plain hashable tuples so the simulated
+:class:`~repro.cluster.network.Network` and the live TCP/loopback
+transports (:mod:`repro.loadgen`) can route the same control-plane
+messages without knowing what sits behind an endpoint.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def server_address(server_id: int) -> _t.Tuple[str, int]:
+    """Network address of a backend server."""
+    return ("server", server_id)
+
+
+def client_address(client_id: int) -> _t.Tuple[str, int]:
+    """Network address of a client (application server)."""
+    return ("client", client_id)
+
+
+#: The logically-centralized credits controller.
+CONTROLLER_ADDRESS: _t.Tuple[str, int] = ("controller", 0)

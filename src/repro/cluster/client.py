@@ -7,6 +7,12 @@ task latency when the last response arrives.  The strategy decides *where*
 each request goes (replica selection), *what priority* it carries and
 *when* it leaves the client (credit gating); the client owns the
 bookkeeping that is common to all strategies.
+
+The client is substrate-agnostic: it depends only on the
+:class:`~repro.core.clock.Clock` / :class:`~repro.core.clock.Transport`
+seam, so the same object dispatches simulated requests over the modelled
+network and real requests over the live subsystem's TCP transport
+(:mod:`repro.loadgen`).
 """
 
 from __future__ import annotations
@@ -14,11 +20,15 @@ from __future__ import annotations
 import typing as _t
 
 from ..metrics.counters import MetricRegistry
-from ..sim.engine import Environment
 from ..workload.tasks import Task
+from .addresses import client_address
 from .messages import RequestMessage, ResponseMessage, TaskCompletion
-from .network import Network
-from .server import client_address
+
+if _t.TYPE_CHECKING:  # pragma: no cover - the seam is structural
+    # Imported lazily to keep `repro.cluster` importable before
+    # `repro.core` finishes initializing (core's strategies import this
+    # module back); at runtime the seam is duck-typed anyway.
+    from ..core.clock import Clock, Transport
 
 
 class DispatchStrategy:
@@ -58,9 +68,9 @@ class Client:
 
     def __init__(
         self,
-        env: Environment,
+        env: "Clock",
         client_id: int,
-        network: Network,
+        network: "Transport",
         strategy: DispatchStrategy,
         task_recorder: _t.Optional[TaskRecorder] = None,
         request_recorder: _t.Optional[TaskRecorder] = None,

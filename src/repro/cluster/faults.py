@@ -177,6 +177,23 @@ class FlashCrowdFault:
 #: Any scriptable fault event.
 FaultEvent = _t.Union[SlowdownFault, CrashFault, NetworkJitterFault, FlashCrowdFault]
 
+
+def fault_to_dict(event: FaultEvent) -> _t.Dict[str, _t.Any]:
+    """JSON-friendly form of one fault event (``repro scenarios --json``).
+
+    ``kind`` plus the event's own fields; infinite durations become the
+    string ``"inf"`` so the output stays valid JSON.
+    """
+    out: _t.Dict[str, _t.Any] = {"kind": event.kind}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if isinstance(value, float) and math.isinf(value):
+            value = "inf"
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[field.name] = value
+    return out
+
 _EVENT_TYPES: _t.Tuple[type, ...] = (
     SlowdownFault,
     CrashFault,
@@ -219,9 +236,50 @@ class FaultSchedule:
     def describe(self) -> _t.List[str]:
         return [event.describe() for event in self.events]
 
+    def to_dicts(self) -> _t.List[_t.Dict[str, _t.Any]]:
+        """JSON-friendly form of the whole script, in schedule order."""
+        return [fault_to_dict(event) for event in self.events]
+
 
 #: The empty schedule (module-level singleton for defaults).
 NO_FAULTS = FaultSchedule()
+
+
+def drive_fault_windows(
+    clock: _t.Any,
+    event: FaultEvent,
+    apply: _t.Callable[[FaultEvent], None],
+    revert: _t.Callable[[FaultEvent], None],
+    on_window: _t.Callable[[FaultEvent], None],
+) -> _t.Generator:
+    """The window script one fault event follows, substrate-agnostic.
+
+    Delayed start, apply, (possibly infinite) hold, revert, optional
+    recurrence -- shared by the simulated :class:`FaultInjector` and the
+    live :class:`~repro.loadgen.LiveFaultDriver`, so sim and live windows
+    can never drift apart.  ``clock`` is anything with ``timeout``
+    (the :class:`~repro.core.clock.Clock` seam).
+    """
+    if event.start > 0:
+        yield clock.timeout(event.start)
+    while True:
+        apply(event)
+        on_window(event)
+        if math.isinf(event.duration):
+            return  # permanent condition, never reverted
+        yield clock.timeout(event.duration)
+        revert(event)
+        if event.period is None:
+            return
+        yield clock.timeout(event.period - event.duration)
+
+
+def windows_extras(windows: _t.Mapping[str, int]) -> _t.Dict[str, float]:
+    """Audit counters, keyed ``<kind>_windows`` (dashes -> underscores)."""
+    return {
+        f"{kind.replace('-', '_')}_windows": float(count)
+        for kind, count in sorted(windows.items())
+    }
 
 
 class FaultInjector:
@@ -269,18 +327,12 @@ class FaultInjector:
 
     # -- window machinery -------------------------------------------------------
     def _drive(self, event: FaultEvent) -> _t.Generator:
-        if event.start > 0:
-            yield self.env.timeout(event.start)
-        while True:
-            self._apply(event)
-            self.windows[event.kind] = self.windows.get(event.kind, 0) + 1
-            if math.isinf(event.duration):
-                return  # permanent condition, never reverted
-            yield self.env.timeout(event.duration)
-            self._revert(event)
-            if event.period is None:
-                return
-            yield self.env.timeout(event.period - event.duration)
+        return drive_fault_windows(
+            self.env, event, self._apply, self._revert, self._count_window
+        )
+
+    def _count_window(self, event: FaultEvent) -> None:
+        self.windows[event.kind] = self.windows.get(event.kind, 0) + 1
 
     def _apply(self, event: FaultEvent) -> None:
         if isinstance(event, SlowdownFault):
@@ -318,11 +370,8 @@ class FaultInjector:
 
     # -- reporting ---------------------------------------------------------------
     def extras(self) -> _t.Dict[str, float]:
-        """Audit counters, keyed ``<kind>_windows`` (kind dashes -> underscores)."""
-        return {
-            f"{kind.replace('-', '_')}_windows": float(count)
-            for kind, count in sorted(self.windows.items())
-        }
+        """Audit counters for the runner (see :func:`windows_extras`)."""
+        return windows_extras(self.windows)
 
 
 class SlowdownInjector:

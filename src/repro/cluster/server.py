@@ -25,6 +25,7 @@ from ..sim.rng import Stream
 from ..sim.resources import PriorityFilterStore, PriorityItem, PriorityStore
 from ..scheduling.disciplines import Discipline, FifoDiscipline
 from ..workload.calibration import ServiceTimeModel
+from .addresses import CONTROLLER_ADDRESS, client_address, server_address
 from .messages import (
     CongestionSignal,
     RequestMessage,
@@ -33,18 +34,29 @@ from .messages import (
 )
 from .network import Network
 
+__all__ = [
+    "BackendServer",
+    "PullServer",
+    "CONTROLLER_ADDRESS",
+    "client_address",
+    "congestion_ratio",
+    "server_address",
+]
 
-def server_address(server_id: int) -> _t.Tuple[str, int]:
-    """Network address of a server."""
-    return ("server", server_id)
 
+def congestion_ratio(
+    offered_rate: float, queue_length: int, capacity: float, interval: float
+) -> float:
+    """The congestion monitor's overload measure, shared by sim and live.
 
-def client_address(client_id: int) -> _t.Tuple[str, int]:
-    """Network address of a client (application server)."""
-    return ("client", client_id)
-
-
-CONTROLLER_ADDRESS: _t.Tuple[str, int] = ("controller", 0)
+    Backlog counts as offered work too -- a deep queue with modest
+    arrivals is still congestion -- so the queue is converted to a rate
+    over the monitoring interval and added to the measured arrival rate.
+    """
+    backlog_rate = queue_length / interval
+    if capacity <= 0:
+        return float("inf")
+    return (offered_rate + backlog_rate) / capacity
 
 
 class _ServerBase:
@@ -238,12 +250,12 @@ class BackendServer(_ServerBase):
         interval = _t.cast(float, self.congestion_interval)
         while True:
             yield self.env.timeout(interval)
-            offered = self.arrival_rate.rate(self.env.now)
-            cap = self.capacity()
-            # Backlog counts as offered work too: a deep queue with modest
-            # arrivals is still congestion.
-            backlog_rate = self.queue_length() / interval
-            ratio = (offered + backlog_rate) / cap if cap > 0 else float("inf")
+            ratio = congestion_ratio(
+                self.arrival_rate.rate(self.env.now),
+                self.queue_length(),
+                self.capacity(),
+                interval,
+            )
             if ratio > self.congestion_threshold:
                 self.congestion_signals_sent += 1
                 self.network.send(

@@ -1,0 +1,200 @@
+"""The clock/transport seam: one strategy stack, two execution substrates.
+
+Everything strategy-side (C3 selection and pacing, hedging timers, BRB
+credit gates, the credits controller) interacts with its substrate through
+two narrow interfaces:
+
+* :class:`Clock` -- ``now`` (seconds), ``timeout(delay)`` tokens, and
+  ``process(generator)`` to drive a periodic/delayed activity expressed as
+  a generator that yields timeout tokens.
+* :class:`Transport` -- ``register(address, handler)`` and
+  ``send(src, dst, message)``: addressed, asynchronous message delivery.
+
+The simulation realizes them with :class:`~repro.sim.engine.Environment`
+(virtual clock, event calendar) and :class:`~repro.cluster.network.Network`
+(modelled one-way latency); both satisfy the protocols structurally, so
+simulation behavior is untouched by this seam.  The live serving subsystem
+(:mod:`repro.serve`, :mod:`repro.loadgen`) realizes them with
+:class:`WallClock` -- wall-clock time driven by asyncio -- and a TCP-backed
+transport, which is what lets the *same* strategy objects dispatch real
+requests against real concurrency.
+
+Model time vs. wall time
+------------------------
+All strategy code thinks in *model seconds* (the paper's units: 50 us
+network hops, ~285 us service times).  A :class:`WallClock` maps between
+the two with a ``scale`` factor: one model second takes ``scale`` wall
+seconds.  Scaling up (e.g. 25x) keeps sleep durations well above the
+event-loop timer resolution so live runs are not dominated by timer
+quantization; latencies read off a :class:`WallClock` are already in model
+seconds and therefore directly comparable with simulated ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing as _t
+
+
+@_t.runtime_checkable
+class Clock(_t.Protocol):
+    """What strategy code may ask of time.
+
+    Satisfied by the simulation's :class:`~repro.sim.engine.Environment`
+    (virtual time) and by :class:`WallClock` (scaled wall time).
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in model seconds."""
+        ...
+
+    def timeout(self, delay: float, value: object = None) -> _t.Any:
+        """A token a :meth:`process` generator can yield to sleep."""
+        ...
+
+    def process(
+        self, generator: _t.Generator, name: _t.Optional[str] = None
+    ) -> _t.Any:
+        """Drive ``generator``; each yielded timeout token suspends it."""
+        ...
+
+
+@_t.runtime_checkable
+class Transport(_t.Protocol):
+    """Addressed, asynchronous message delivery between endpoints.
+
+    Satisfied by the simulated :class:`~repro.cluster.network.Network`
+    (sampled one-way delays) and by the live subsystem's TCP/loopback
+    transports.  Handlers are plain callables invoked with the message.
+    """
+
+    def register(
+        self, address: _t.Hashable, handler: _t.Callable[[_t.Any], None]
+    ) -> None: ...
+
+    def send(
+        self, src: _t.Hashable, dst: _t.Hashable, message: _t.Any
+    ) -> _t.Any: ...
+
+
+class _Sleep:
+    """Timeout token yielded by live processes (mirrors ``sim.Timeout``)."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError("negative sleep")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"_Sleep({self.delay!r})"
+
+
+class WallClock:
+    """Wall-clock realization of :class:`Clock` on top of asyncio.
+
+    ``now`` is model seconds since construction: ``(monotonic - t0) /
+    scale``.  ``process`` drives the same generator protocol the simulation
+    uses -- generators yield ``timeout(delay)`` tokens -- as an asyncio
+    task, so strategy-side periodic loops (credit reports, hedge timers,
+    C3 pacers) run unmodified against real time.
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+        self._t0 = time.monotonic()
+        #: Live (unfinished) tasks spawned via :meth:`process`.  Pruned on
+        #: completion: strategies spawn one short-lived process per paced
+        #: or hedged request, so an append-only list would grow with the
+        #: request count.
+        self.tasks: _t.Set["asyncio.Task[None]"] = set()
+        #: First exception raised by any spawned process (they are all
+        #: infinite or fire-and-forget loops, so any exception is a bug
+        #: the driver must surface -- the sim raises them synchronously).
+        self.first_error: _t.Optional[BaseException] = None
+        self._error_callbacks: _t.List[_t.Callable[[BaseException], None]] = []
+
+    # -- Clock protocol -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) / self.scale
+
+    def rebase(self) -> None:
+        """Reset model time to zero (e.g. when the measured run begins).
+
+        Call before any timestamped traffic: samples recorded earlier would
+        sit in the clock's future after a rebase.
+        """
+        self._t0 = time.monotonic()
+
+    def timeout(self, delay: float, value: object = None) -> _Sleep:
+        return _Sleep(delay, value)
+
+    def process(
+        self, generator: _t.Generator, name: _t.Optional[str] = None
+    ) -> "asyncio.Task[None]":
+        task = asyncio.get_running_loop().create_task(
+            self._drive(generator, name), name=name
+        )
+        self.tasks.add(task)
+        task.add_done_callback(self._on_task_done)
+        return task
+
+    def on_error(self, callback: _t.Callable[[BaseException], None]) -> None:
+        """Invoke ``callback`` with the first process exception (once)."""
+        self._error_callbacks.append(callback)
+        if self.first_error is not None:
+            callback(self.first_error)
+
+    def _on_task_done(self, task: "asyncio.Task[None]") -> None:
+        self.tasks.discard(task)
+        if task.cancelled():
+            return
+        error = task.exception()  # retrieve, or asyncio warns at GC time
+        if error is not None and self.first_error is None:
+            self.first_error = error
+            for callback in self._error_callbacks:
+                callback(error)
+
+    # -- live helpers -------------------------------------------------------
+    async def sleep(self, model_delay: float) -> None:
+        """Suspend the calling coroutine for ``model_delay`` model seconds."""
+        if model_delay > 0:
+            await asyncio.sleep(model_delay * self.scale)
+
+    async def sleep_until(self, model_time: float) -> None:
+        """Sleep until the model clock reads at least ``model_time``."""
+        await self.sleep(model_time - self.now)
+
+    async def _drive(self, generator: _t.Generator, name: _t.Optional[str]) -> None:
+        value: object = None
+        try:
+            while True:
+                try:
+                    item = generator.send(value)
+                except StopIteration:
+                    return
+                if not isinstance(item, _Sleep):
+                    raise TypeError(
+                        f"live process {name or generator!r} yielded {item!r}; "
+                        "only clock.timeout(...) tokens are waitable on a "
+                        "wall clock"
+                    )
+                await self.sleep(item.delay)
+                value = item.value
+        except asyncio.CancelledError:
+            generator.close()
+            raise
+
+    def cancel_processes(self) -> None:
+        """Cancel every live process this clock spawned (run teardown)."""
+        for task in list(self.tasks):
+            if not task.done():
+                task.cancel()
+        self.tasks.clear()

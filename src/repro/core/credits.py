@@ -25,16 +25,15 @@ from __future__ import annotations
 import heapq
 import typing as _t
 
+from ..cluster.addresses import CONTROLLER_ADDRESS, client_address, server_address
 from ..cluster.messages import (
     CongestionSignal,
     CreditGrant,
     DemandReport,
     RequestMessage,
 )
-from ..cluster.network import Network
-from ..cluster.server import CONTROLLER_ADDRESS, client_address, server_address
 from ..metrics.counters import MetricRegistry
-from ..sim.engine import Environment
+from .clock import Clock, Transport
 
 #: The paper's congestion-adaptation interval ("adapted ... at 1s intervals").
 DEFAULT_EPOCH = 1.0
@@ -70,8 +69,8 @@ class CreditsController:
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Clock,
+        network: Transport,
         n_clients: int,
         server_capacities: _t.Mapping[int, float],
         epoch: float = DEFAULT_EPOCH,
@@ -259,8 +258,8 @@ class CreditGate:
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
+        env: Clock,
+        network: Transport,
         client_id: int,
         server_ids: _t.Iterable[int],
         epoch: float = DEFAULT_EPOCH,

@@ -24,11 +24,17 @@ from .parallel import (
     config_digest,
     make_executor,
 )
-from .results import ComparisonResult, StrategyResult, compare_strategies
+from .results import (
+    ComparisonResult,
+    StrategyResult,
+    compare_strategies,
+    validate_summary_dict,
+)
 from .runner import RunResult, run_experiment, run_seeds
 from .sweep import SweepResult, sweep
 
 __all__ = [
+    "validate_summary_dict",
     "ClusterContext",
     "ComparisonResult",
     "ExperimentConfig",

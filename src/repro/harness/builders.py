@@ -35,10 +35,10 @@ from ..baselines.hedging import HedgedStrategy
 from ..baselines.selectors import make_selector
 from ..baselines.strategies import ObliviousStrategy
 from ..cluster.client import Client, DispatchStrategy
-from ..cluster.network import Network
 from ..cluster.partitioner import Placement
 from ..cluster.server import BackendServer, PullServer
 from ..core.brb_client import BRBCreditsStrategy, BRBModelStrategy
+from ..core.clock import Clock, Transport
 from ..core.credits import CreditGate, CreditsController, equal_initial_shares
 from ..core.model_queue import GlobalQueue
 from ..core.priorities import make_assigner
@@ -49,7 +49,6 @@ from ..scheduling.disciplines import (
     FifoDiscipline,
     PriorityDiscipline,
 )
-from ..sim.engine import Environment
 from ..sim.rng import StreamFactory
 from ..workload.calibration import ServiceTimeModel
 
@@ -61,6 +60,15 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 class ClusterContext:
     """Everything a builder needs: the experiment-wide substrate.
 
+    ``env`` and ``network`` are the clock/transport seam
+    (:mod:`repro.core.clock`): the simulation binds them to the virtual
+    :class:`~repro.sim.engine.Environment` and modelled
+    :class:`~repro.cluster.network.Network`, the live subsystem
+    (:mod:`repro.loadgen`) binds them to a wall clock and a TCP-backed
+    transport -- the same builders assemble strategies for both.  The
+    server-side hooks (:meth:`StrategyBuilder.build_server`) are
+    simulation-only; the live service runs its own asyncio workers.
+
     ``shared`` is the builder's scratch space: :meth:`StrategyBuilder.
     build_shared` populates it (controller, global queue, gates, ...) and
     the later build hooks and :meth:`StrategyBuilder.collect_extras` read
@@ -68,8 +76,8 @@ class ClusterContext:
     """
 
     config: "ExperimentConfig"
-    env: Environment
-    network: Network
+    env: Clock
+    network: Transport
     placement: Placement
     service_model: ServiceTimeModel
     streams: StreamFactory

@@ -177,6 +177,51 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
 
+    # -- maintenance (the ``repro cache`` subcommand) -----------------------
+    def entries(self) -> _t.List[Path]:
+        """Every cache entry currently on disk, sorted by digest."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def stats(self) -> _t.Dict[str, _t.Any]:
+        """Entry count, total bytes and per-digest-prefix breakdown."""
+        entries = self.entries()
+        prefixes: _t.Dict[str, int] = {}
+        total_bytes = 0
+        for path in entries:
+            prefixes[path.parent.name] = prefixes.get(path.parent.name, 0) + 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # racing writer/cleaner; count what remains
+                continue
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "prefixes": prefixes,
+        }
+
+    def clear(self) -> int:
+        """Remove every entry (idempotent); returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+        if self.root.is_dir():
+            for bucket in sorted(self.root.iterdir()):
+                if bucket.is_dir():
+                    try:
+                        bucket.rmdir()
+                    except OSError:
+                        # Not empty -- possibly a concurrent writer racing
+                        # the clear; their fresh entry is theirs to keep.
+                        continue
+        return removed
+
     def __repr__(self) -> str:
         return (
             f"<ResultCache {self.root} hits={self.hits} "

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import typing as _t
 from pathlib import Path
 
@@ -104,6 +105,71 @@ class ComparisonResult:
 
     def save_json(self, path: _t.Union[str, Path]) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+
+def validate_summary_dict(data: _t.Mapping[str, _t.Any]) -> None:
+    """Validate the shared summary-JSON schema; raises ``ValueError``.
+
+    This is the contract between realms: a simulated
+    :meth:`ComparisonResult.to_dict` and a live
+    :func:`repro.loadgen.live_summary` must both satisfy it, so analysis
+    tooling can consume either without knowing which produced it.  A
+    top-level ``meta`` block (live provenance: scenario, time scale, wall
+    duration) is permitted; anything else unexpected is an error.
+    """
+
+    def fail(message: str) -> "_t.NoReturn":
+        raise ValueError(f"bad summary: {message}")
+
+    if not isinstance(data, _t.Mapping):
+        fail(f"expected an object, got {type(data).__name__}")
+    unexpected = set(data) - {"seeds", "strategies", "meta"}
+    if unexpected:
+        fail(f"unexpected top-level keys {sorted(unexpected)}")
+    seeds = data.get("seeds")
+    if not isinstance(seeds, list) or not seeds or not all(
+        isinstance(s, int) and not isinstance(s, bool) for s in seeds
+    ):
+        fail(f"'seeds' must be a non-empty list of ints, got {seeds!r}")
+    strategies = data.get("strategies")
+    if not isinstance(strategies, _t.Mapping) or not strategies:
+        fail(f"'strategies' must be a non-empty object, got {strategies!r}")
+    if "meta" in data and not isinstance(data["meta"], _t.Mapping):
+        fail(f"'meta' must be an object, got {data['meta']!r}")
+    for name, entry in strategies.items():
+        if not isinstance(entry, _t.Mapping):
+            fail(f"strategy {name!r} entry is not an object")
+        missing = {"count", "mean_s", "percentiles_ms", "per_seed_p99_ms"} - set(entry)
+        if missing:
+            fail(f"strategy {name!r} is missing {sorted(missing)}")
+        if not isinstance(entry["count"], int) or entry["count"] <= 0:
+            fail(f"strategy {name!r} count must be a positive int")
+        if not isinstance(entry["mean_s"], (int, float)) or not math.isfinite(
+            entry["mean_s"]
+        ):
+            fail(f"strategy {name!r} mean_s must be finite")
+        percentiles = entry["percentiles_ms"]
+        if not isinstance(percentiles, _t.Mapping) or not percentiles:
+            fail(f"strategy {name!r} percentiles_ms must be a non-empty object")
+        for label, value in percentiles.items():
+            if not (isinstance(label, str) and label.startswith("p")):
+                fail(f"strategy {name!r} has bad percentile label {label!r}")
+            try:
+                float(label[1:])
+            except ValueError:
+                fail(f"strategy {name!r} has bad percentile label {label!r}")
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(f"strategy {name!r} {label} must be finite, got {value!r}")
+        per_seed = entry["per_seed_p99_ms"]
+        if not isinstance(per_seed, list) or len(per_seed) != len(seeds):
+            fail(
+                f"strategy {name!r} per_seed_p99_ms must list one value per "
+                f"seed ({len(seeds)}), got {per_seed!r}"
+            )
+        if not all(
+            isinstance(v, (int, float)) and math.isfinite(v) for v in per_seed
+        ):
+            fail(f"strategy {name!r} per_seed_p99_ms must be finite numbers")
 
 
 def compare_strategies(

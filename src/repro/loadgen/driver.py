@@ -1,0 +1,454 @@
+"""The live load generator: scenario replay against a running service.
+
+:func:`run_live` is the wall-clock mirror of
+:func:`repro.harness.runner.run_experiment`: the same
+:class:`~repro.harness.config.ExperimentConfig`, the same builder-registry
+strategy assembly, the same open-loop workload replay and the same
+:class:`~repro.harness.runner.RunResult` out -- except requests travel over
+TCP to live asyncio workers instead of through the event calendar.  Fault
+schedules replay too: scripted events become admin frames (slowdown,
+crash/restart, response jitter) or client-side arrival compression (flash
+crowds), window-for-window with the simulated injector.
+
+Because the output is a genuine ``RunResult``, everything downstream --
+:func:`~repro.harness.results.compare_strategies`, the analysis tables,
+the summary JSON schema -- is *shared* with the simulation rather than
+imitated, which is what the sim<->live differential harness
+(:mod:`repro.loadgen.compare`) relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing as _t
+
+from ..cluster.client import Client
+from ..cluster.faults import (
+    CrashFault,
+    FaultEvent,
+    FaultSchedule,
+    FlashCrowdFault,
+    NetworkJitterFault,
+    SlowdownFault,
+    drive_fault_windows,
+    windows_extras,
+)
+from ..core.clock import WallClock
+from ..harness.builders import ClusterContext, ModelBuilder, get_builder
+from ..harness.config import ExperimentConfig
+from ..harness.results import compare_strategies
+from ..harness.runner import RunResult
+from ..metrics.counters import MetricRegistry
+from ..metrics.reservoir import ExactSample
+from ..serve.server import DEFAULT_HOST, DEFAULT_PORT
+from ..sim.rng import StreamFactory
+from .transport import LiveTransport, LiveTransportError, handshake
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.messages import TaskCompletion
+
+
+class _LiveTracker:
+    """Warmup-filtered completion counting (sim tracker, asyncio edition)."""
+
+    def __init__(self, n_tasks: int, warmup_tasks: int) -> None:
+        self.n_tasks = n_tasks
+        self.warmup_tasks = warmup_tasks
+        self.task_latencies = ExactSample()
+        self.completed = 0
+        self.measured = 0
+        self.last_completion_at = 0.0
+        self.done = asyncio.Event()
+
+    def on_complete(self, completion: "TaskCompletion") -> None:
+        self.completed += 1
+        self.last_completion_at = completion.completed_at
+        if completion.task.task_id >= self.warmup_tasks:
+            self.measured += 1
+            self.task_latencies.record(completion.latency)
+        if self.completed == self.n_tasks:
+            self.done.set()
+
+
+class LiveFaultDriver:
+    """Replays a :class:`FaultSchedule` against a live service.
+
+    Event-for-event mapping from the simulated injector:
+
+    ==================  =================================================
+    simulated event      live realization
+    ==================  =================================================
+    SlowdownFault        ``admin slowdown`` / ``restore`` (service-time
+                         multiplier on the targeted workers)
+    CrashFault           ``admin crash`` / ``resume`` (workers stop
+                         starting requests; queues survive)
+    NetworkJitterFault   ``admin jitter``: extra lognormal per-response
+                         delay standing in for both inflated network
+                         directions on a loopback link
+    FlashCrowdFault      client-side arrival compression via
+                         :meth:`arrival_scale` (same as the simulation)
+    ==================  =================================================
+    """
+
+    def __init__(
+        self,
+        clock: WallClock,
+        schedule: FaultSchedule,
+        transport: LiveTransport,
+        one_way_latency: float,
+    ) -> None:
+        self.clock = clock
+        self.schedule = schedule
+        self.transport = transport
+        self.one_way_latency = float(one_way_latency)
+        self.windows: _t.Dict[str, int] = {e.kind: 0 for e in schedule.events}
+        self._crowd_scale = 1.0
+        self._jitter_depth = 0
+        #: Windows currently applied and not yet reverted (for reset()).
+        self._open: _t.List[FaultEvent] = []
+
+    def start(self) -> None:
+        for index, event in enumerate(self.schedule.events):
+            self.clock.process(
+                drive_fault_windows(
+                    self.clock,
+                    event,
+                    self._apply_open,
+                    self._revert_closed,
+                    self._count_window,
+                ),
+                name=f"live-fault.{event.kind}.{index}",
+            )
+
+    def arrival_scale(self) -> float:
+        return self._crowd_scale
+
+    def _apply_open(self, event: FaultEvent) -> None:
+        self._apply(event)
+        self._open.append(event)
+
+    def _revert_closed(self, event: FaultEvent) -> None:
+        self._open.remove(event)
+        self._revert(event)
+
+    def _count_window(self, event: FaultEvent) -> None:
+        self.windows[event.kind] = self.windows.get(event.kind, 0) + 1
+
+    def reset(self) -> None:
+        """Revert every still-open window (run teardown).
+
+        The run can end -- normally or by timeout -- mid-window; without
+        this, a throttled or crashed worker would stay degraded for the
+        next run against the same server.  Call after the driver's
+        processes have been cancelled, so no window re-opens afterwards.
+        """
+        while self._open:
+            self._revert(self._open.pop())
+
+    def _apply(self, event: FaultEvent) -> None:
+        if isinstance(event, SlowdownFault):
+            self.transport.admin(
+                {
+                    "t": "admin",
+                    "cmd": "slowdown",
+                    "servers": list(event.servers),
+                    "factor": event.factor,
+                }
+            )
+        elif isinstance(event, CrashFault):
+            self.transport.admin(
+                {"t": "admin", "cmd": "crash", "servers": list(event.servers)}
+            )
+        elif isinstance(event, NetworkJitterFault):
+            self._jitter_depth += 1
+            # Two degraded one-way hops' worth of extra delay per response.
+            mean = max(2.0 * self.one_way_latency * event.factor, 1e-6)
+            self.transport.admin(
+                {"t": "admin", "cmd": "jitter", "mean": mean, "sigma": event.sigma}
+            )
+        elif isinstance(event, FlashCrowdFault):
+            self._crowd_scale *= event.multiplier
+
+    def _revert(self, event: FaultEvent) -> None:
+        if isinstance(event, SlowdownFault):
+            self.transport.admin(
+                {
+                    "t": "admin",
+                    "cmd": "restore",
+                    "servers": list(event.servers),
+                    "factor": event.factor,
+                }
+            )
+        elif isinstance(event, CrashFault):
+            self.transport.admin(
+                {"t": "admin", "cmd": "resume", "servers": list(event.servers)}
+            )
+        elif isinstance(event, NetworkJitterFault):
+            self._jitter_depth -= 1
+            if self._jitter_depth == 0:
+                self.transport.admin({"t": "admin", "cmd": "clear-jitter"})
+        elif isinstance(event, FlashCrowdFault):
+            self._crowd_scale /= event.multiplier
+
+    def extras(self) -> _t.Dict[str, float]:
+        return windows_extras(self.windows)
+
+
+def _validate_shape(config: ExperimentConfig, ack: _t.Mapping[str, _t.Any]) -> None:
+    """The server must match the config's backend tier, or nothing the
+    client computes (placement, capacities, costs) is meaningful."""
+    mismatches = []
+    for field, expected in (
+        ("n_servers", config.cluster.n_servers),
+        ("cores_per_server", config.cluster.cores_per_server),
+        ("per_core_rate", config.cluster.per_core_rate),
+    ):
+        if ack.get(field) != expected:
+            mismatches.append(f"{field}: server {ack.get(field)!r} != {expected!r}")
+    server_scenario = ack.get("scenario")
+    if (
+        server_scenario is not None
+        and config.scenario is not None
+        and server_scenario != config.scenario
+    ):
+        mismatches.append(
+            f"scenario: server {server_scenario!r} != {config.scenario!r}"
+        )
+    if mismatches:
+        raise LiveTransportError(
+            "server/config mismatch: " + "; ".join(mismatches)
+        )
+
+
+async def run_live(
+    config: ExperimentConfig,
+    seed: int = 1,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    wall_timeout: _t.Optional[float] = None,
+) -> RunResult:
+    """Drive one (config, seed) load-generation run against a live server."""
+    builder = get_builder(config.strategy)
+    if isinstance(builder, ModelBuilder):
+        raise ValueError(
+            f"strategy {config.strategy!r} is the unrealizable global-queue "
+            "model; it has no live realization (that is the paper's point)"
+        )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        ack = await handshake(reader, writer)
+        _validate_shape(config, ack)
+    except BaseException:
+        # The transport (and its closing machinery) doesn't exist yet;
+        # close the raw connection so early failures don't leak sockets.
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        raise
+    clock = WallClock(scale=float(ack["time_scale"]))
+    transport = LiveTransport(clock, reader, writer)
+    feeder: _t.Optional["asyncio.Task[None]"] = None
+    done_waiter: _t.Optional["asyncio.Task[bool]"] = None
+    faults: _t.Optional[LiveFaultDriver] = None
+    try:
+        stats_before = await asyncio.wait_for(transport.fetch_stats(), timeout=10)
+        streams = StreamFactory(seed)
+        metrics = MetricRegistry()
+        workload = config.workload()
+        placement = config.cluster.make_placement()
+        placement.validate()
+        ctx = ClusterContext(
+            config=config,
+            env=clock,
+            network=transport,
+            placement=placement,
+            service_model=workload.service_model,
+            streams=streams,
+            metrics=metrics,
+        )
+        warmup_tasks = int(config.warmup_fraction * config.n_tasks)
+        tracker = _LiveTracker(config.n_tasks, warmup_tasks)
+        # Same construction order as the simulated runner: shared machinery,
+        # then clients (strategy before client).
+        builder.build_shared(ctx)
+        clients: _t.List[Client] = []
+        for client_id in range(config.n_clients):
+            strategy = builder.build_client_strategy(ctx, client_id)
+            clients.append(
+                Client(
+                    clock,
+                    client_id=client_id,
+                    network=transport,
+                    strategy=strategy,
+                    metrics=metrics,
+                    on_complete=tracker.on_complete,
+                )
+            )
+        faults = LiveFaultDriver(
+            clock, config.faults(), transport, config.cluster.one_way_latency
+        )
+        generator = workload.generator(streams)
+        expected_model_s = config.n_tasks / workload.task_rate
+        if wall_timeout is None:
+            wall_timeout = max(60.0, 12.0 * expected_model_s * clock.scale + 30.0)
+
+        async def feed() -> None:
+            next_at = 0.0
+            last_arrival = 0.0
+            for _ in range(config.n_tasks):
+                task = generator.next_task()
+                gap = task.arrival_time - last_arrival
+                last_arrival = task.arrival_time
+                next_at += gap / faults.arrival_scale()
+                if next_at > clock.now:
+                    await clock.sleep_until(next_at)
+                clients[task.client_id].submit(task)
+
+        wall_start = time.monotonic()
+        # Model time zero = first arrival: latencies are measured against
+        # the trace's intended arrival times, exactly like the simulation.
+        clock.rebase()
+        faults.start()
+        feeder = asyncio.get_running_loop().create_task(feed(), name="live-feeder")
+        done_waiter = asyncio.get_running_loop().create_task(tracker.done.wait())
+
+        # Surface background crashes immediately as the real traceback,
+        # not as a mysterious timeout minutes later (the sim raises the
+        # same exceptions synchronously from env.run).  The clock funnels
+        # the first exception of *any* spawned strategy process (credit
+        # gates, the controller epoch loop, C3 pacers, hedge timers, fault
+        # windows) into one future, so the watch set stays constant-sized
+        # no matter how many short-lived per-request processes a strategy
+        # spawns.
+        background_failure: "asyncio.Future[None]" = (
+            asyncio.get_running_loop().create_future()
+        )
+
+        def note_background_error(error: BaseException) -> None:
+            if not background_failure.done():
+                background_failure.set_exception(error)
+
+        clock.on_error(note_background_error)
+        waiters: _t.Set[_t.Any] = {
+            done_waiter,
+            transport.failed,
+            background_failure,
+            feeder,
+        }
+        deadline = asyncio.get_running_loop().time() + wall_timeout
+        try:
+            while not tracker.done.is_set():
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= 0:
+                    raise LiveTransportError(
+                        f"live run timed out after {wall_timeout:.0f}s wall: "
+                        f"{tracker.completed}/{config.n_tasks} tasks completed, "
+                        f"{transport.pending_ops} ops in flight"
+                    )
+                await asyncio.wait(
+                    waiters, timeout=remaining, return_when=asyncio.FIRST_COMPLETED
+                )
+                if transport.failed.done():
+                    raise transport.failed.exception()  # type: ignore[misc]
+                if background_failure.done():
+                    raise _t.cast(
+                        BaseException, background_failure.exception()
+                    )
+                if feeder.done():
+                    feeder_error = feeder.exception()
+                    if feeder_error is not None:
+                        raise feeder_error
+                    waiters.discard(feeder)  # fed everything; await completions
+        finally:
+            if not background_failure.done():
+                background_failure.cancel()
+            elif not background_failure.cancelled():
+                background_failure.exception()  # consume for GC hygiene
+        wall_duration = time.monotonic() - wall_start
+        stats_after = await asyncio.wait_for(transport.fetch_stats(), timeout=10)
+
+        requests_served = int(
+            stats_after.get("completed", 0) - stats_before.get("completed", 0)
+        )
+        uptime_delta = float(
+            stats_after.get("uptime_model_s", 0.0)
+            - stats_before.get("uptime_model_s", 0.0)
+        )
+        busy_delta = sum(
+            float(after.get("busy_time_s", 0.0)) - float(before.get("busy_time_s", 0.0))
+            for before, after in zip(
+                stats_before.get("workers", []), stats_after.get("workers", [])
+            )
+        )
+        cores_total = config.cluster.n_servers * config.cluster.cores_per_server
+        extras: _t.Dict[str, float] = {
+            "mean_server_utilization": (
+                busy_delta / (uptime_delta * cores_total) if uptime_delta > 0 else 0.0
+            ),
+            "live_time_scale": clock.scale,
+            "live_wall_duration_s": wall_duration,
+            "live_requests_rejected": float(stats_after.get("rejected", 0)),
+            "live_congestion_frames": float(transport.congestion_signals),
+        }
+        extras.update(builder.collect_extras(ctx, clients, ()))
+        extras.update(faults.extras())
+
+        return RunResult(
+            config=config,
+            seed=seed,
+            task_latencies=tracker.task_latencies,
+            request_latencies=None,
+            queue_waits=None,
+            service_times=None,
+            client_waits=None,
+            sim_duration=tracker.last_completion_at,
+            events_processed=transport.ops_sent + transport.responses_received,
+            tasks_measured=tracker.measured,
+            tasks_completed=tracker.completed,
+            requests_served=requests_served,
+            extras=extras,
+        )
+    finally:
+        for task in (feeder, done_waiter):
+            if task is not None and not task.done():
+                task.cancel()
+        clock.cancel_processes()
+        if faults is not None:
+            faults.reset()  # leave the server undegraded for the next run
+        await transport.close()
+
+
+def live_summary(
+    results: _t.Mapping[str, _t.Sequence[RunResult]],
+    meta: _t.Optional[_t.Mapping[str, _t.Any]] = None,
+) -> _t.Dict[str, _t.Any]:
+    """The sim-identical summary dict for live runs (plus a ``meta`` block).
+
+    The core shape is produced by the *same*
+    :meth:`~repro.harness.results.ComparisonResult.to_dict` the simulation
+    uses, so one schema validator covers both realms.
+    """
+    summary = compare_strategies(results).to_dict()
+    if meta is not None:
+        summary["meta"] = dict(meta)
+    return summary
+
+
+async def run_live_seeds(
+    config: ExperimentConfig,
+    seeds: _t.Sequence[int],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    wall_timeout: _t.Optional[float] = None,
+) -> _t.List[RunResult]:
+    """Sequential multi-seed live runs (live cells cannot overlap: they
+    would contend for the same wall-clock backend)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [
+        await run_live(config, seed=seed, host=host, port=port, wall_timeout=wall_timeout)
+        for seed in seeds
+    ]

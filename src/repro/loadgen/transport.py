@@ -1,0 +1,291 @@
+"""The live client transport: the Transport seam over one TCP connection.
+
+:class:`LiveTransport` is what makes the *unmodified* strategy stack run
+against the live service: it implements the same ``register``/``send``
+surface as the simulated :class:`~repro.cluster.network.Network`, so
+clients, credit gates and the credits controller plug into it directly.
+
+Routing
+-------
+* messages addressed to a **server** (:class:`~repro.cluster.messages.
+  RequestMessage`) are turned into wire ``op`` frames; the request object
+  itself stays client-side in a pending map keyed by a wire id, and the
+  matching ``res`` frame is reassembled into the exact
+  :class:`~repro.cluster.messages.ResponseMessage` the strategies expect,
+  feedback included;
+* messages between **local** endpoints (demand reports and credit grants
+  between gates and the in-process controller) are delivered on the next
+  event-loop turn -- the live analogue of the simulated network's
+  asynchronous delivery, and what keeps the control-plane free of
+  re-entrant callback chains;
+* ``congestion`` frames from the service become
+  :class:`~repro.cluster.messages.CongestionSignal` deliveries to the
+  controller address, closing the credits feedback loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+
+from ..cluster.addresses import CONTROLLER_ADDRESS, client_address
+from ..cluster.messages import CongestionSignal, ResponseMessage, ServerFeedback
+from ..core.clock import WallClock
+from ..serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    priority_to_wire,
+    read_frame,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.messages import RequestMessage
+
+
+class LiveTransportError(RuntimeError):
+    """The live connection failed or the service rejected a request."""
+
+
+async def handshake(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> _t.Dict[str, _t.Any]:
+    """Exchange hello/hello-ack before the reader loop starts."""
+    writer.write(encode_frame({"t": "hello", "proto": PROTOCOL_VERSION}))
+    await writer.drain()
+    ack = await read_frame(reader)
+    if ack is None:
+        raise LiveTransportError("server closed the connection during handshake")
+    if ack.get("t") == "error":
+        raise LiveTransportError(f"handshake rejected: {ack.get('error')}")
+    if ack.get("t") != "hello-ack" or ack.get("proto") != PROTOCOL_VERSION:
+        raise LiveTransportError(f"unexpected handshake reply {ack!r}")
+    return ack
+
+
+class LiveTransport:
+    """Transport-seam realization over an established live connection."""
+
+    def __init__(
+        self,
+        clock: WallClock,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.clock = clock
+        self._reader = reader
+        self._writer = writer
+        self._handlers: _t.Dict[_t.Hashable, _t.Callable[[_t.Any], None]] = {}
+        self._pending: _t.Dict[int, "RequestMessage"] = {}
+        self._next_rid = 0
+        self._outbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self._stats_waiters: _t.List["asyncio.Future[_t.Dict[str, _t.Any]]"] = []
+        #: Set on connection loss / protocol error / op rejection.
+        self.failed: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        self.ops_sent = 0
+        self.responses_received = 0
+        self.congestion_signals = 0
+        self._tasks = [
+            asyncio.get_running_loop().create_task(self._send_loop()),
+            asyncio.get_running_loop().create_task(self._read_loop()),
+        ]
+
+    # -- Transport protocol ---------------------------------------------------
+    def register(
+        self, address: _t.Hashable, handler: _t.Callable[[_t.Any], None]
+    ) -> None:
+        if address in self._handlers:
+            raise ValueError(f"address {address!r} already registered")
+        self._handlers[address] = handler
+
+    def send(
+        self, src: _t.Hashable, dst: _t.Hashable, message: _t.Any
+    ) -> None:
+        """Route one message: servers over the wire, everything else local."""
+        if isinstance(dst, tuple) and len(dst) == 2 and dst[0] == "server":
+            self._send_op(int(dst[1]), message)
+        else:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                raise KeyError(f"no handler registered for {dst!r}")
+            # Next-turn delivery: like the simulated network, control
+            # messages never re-enter the sender's stack synchronously.
+            asyncio.get_running_loop().call_soon(
+                self._deliver_local, handler, message
+            )
+
+    def _deliver_local(
+        self, handler: _t.Callable[[_t.Any], None], message: _t.Any
+    ) -> None:
+        try:
+            handler(message)
+        except Exception as exc:
+            # A handler bug must fail the run visibly, not vanish into the
+            # event loop's default exception logger.
+            self._fail(
+                LiveTransportError(f"local handler raised for {message!r}: {exc}")
+            )
+
+    # -- data path ------------------------------------------------------------
+    def _send_op(self, worker_id: int, request: "RequestMessage") -> None:
+        rid = self._next_rid
+        self._next_rid += 1
+        self._pending[rid] = request
+        self.ops_sent += 1
+        self._enqueue(
+            {
+                "t": "op",
+                "rid": rid,
+                "server": worker_id,
+                "key": request.op.key,
+                "size": request.op.value_size,
+                "prio": priority_to_wire(request.priority),
+            }
+        )
+
+    def _enqueue(self, frame: _t.Mapping[str, _t.Any]) -> None:
+        self._outbox.put_nowait(encode_frame(frame))
+
+    def admin(self, frame: _t.Mapping[str, _t.Any]) -> None:
+        """Send one admin frame (fault injection, stats requests)."""
+        if frame.get("t") != "admin":
+            raise ValueError("admin frames must have t='admin'")
+        self._enqueue(frame)
+
+    async def fetch_stats(self) -> _t.Dict[str, _t.Any]:
+        """Request the server's stats frame and await it."""
+        future: "asyncio.Future[_t.Dict[str, _t.Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._stats_waiters.append(future)
+        self.admin({"t": "admin", "cmd": "stats"})
+        return await future
+
+    # -- loops ---------------------------------------------------------------
+    async def _send_loop(self) -> None:
+        try:
+            while True:
+                data = await self._outbox.get()
+                self._writer.write(data)
+                await self._writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except ConnectionError as exc:
+            self._fail(LiveTransportError(f"connection lost while sending: {exc}"))
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    self._fail(LiveTransportError("server closed the connection"))
+                    return
+                self._handle_frame(frame)
+        except asyncio.CancelledError:
+            pass
+        except (ProtocolError, ConnectionError) as exc:
+            self._fail(LiveTransportError(f"live connection failed: {exc}"))
+        except Exception as exc:
+            # Anything else (a malformed frame field, a client-callback
+            # bug) must kill the run loudly -- a silently-dead read loop
+            # would stall the driver until its wall timeout.
+            self._fail(
+                LiveTransportError(f"live transport crashed handling a frame: {exc}")
+            )
+
+    def _handle_frame(self, frame: _t.Dict[str, _t.Any]) -> None:
+        kind = frame.get("t")
+        if kind == "res":
+            self._handle_result(frame)
+        elif kind == "congestion":
+            self.congestion_signals += 1
+            handler = self._handlers.get(CONTROLLER_ADDRESS)
+            if handler is not None:  # strategies without a controller drop it
+                handler(
+                    CongestionSignal(
+                        server_id=int(frame["server"]),
+                        time=self.clock.now,
+                        overload_ratio=float(frame["ratio"]),
+                    )
+                )
+        elif kind == "stats":
+            if self._stats_waiters:
+                future = self._stats_waiters.pop(0)
+                if not future.done():
+                    future.set_result(frame)
+        elif kind == "admin-ack":
+            pass  # fault commands are fire-and-forget
+        elif kind == "error":
+            self._fail(
+                LiveTransportError(f"service error: {frame.get('error')!r}")
+            )
+        else:
+            self._fail(LiveTransportError(f"unexpected frame {frame!r}"))
+
+    def _handle_result(self, frame: _t.Dict[str, _t.Any]) -> None:
+        try:
+            rid = int(frame["rid"])
+            request = self._pending.pop(rid)
+        except (KeyError, TypeError, ValueError):
+            self._fail(
+                LiveTransportError(f"result for unknown wire id: {frame!r}")
+            )
+            return
+        now = self.clock.now
+        # Reconstruct the timestamp trail from wire durations: durations
+        # are clock-offset-free, so client and server clocks never need to
+        # agree on an epoch.
+        service = float(frame.get("service", 0.0))
+        queue_wait = float(frame.get("queue_wait", 0.0))
+        request.completed_at = now
+        request.service_start_at = now - service
+        request.enqueued_at = request.service_start_at - queue_wait
+        feedback_raw = frame.get("fb", {})
+        feedback = ServerFeedback(
+            server_id=int(frame["server"]),
+            queue_length=int(feedback_raw.get("q", 0)),
+            in_service=int(feedback_raw.get("s", 0)),
+            ewma_service_time=float(feedback_raw.get("ew", 0.0)),
+        )
+        self.responses_received += 1
+        handler = self._handlers.get(client_address(request.client_id))
+        if handler is None:
+            self._fail(
+                LiveTransportError(
+                    f"response for unregistered client {request.client_id}"
+                )
+            )
+            return
+        handler(ResponseMessage(request=request, feedback=feedback))
+
+    # -- failure and teardown ------------------------------------------------------
+    def _fail(self, exc: Exception) -> None:
+        if not self.failed.done():
+            self.failed.set_exception(exc)
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._pending)
+
+    async def close(self) -> None:
+        # Give the sender a moment to flush queued frames (teardown sends
+        # fault-revert admin commands that must reach the server).
+        deadline = asyncio.get_running_loop().time() + 1.0
+        while (
+            not self._outbox.empty()
+            and not self.failed.done()
+            and asyncio.get_running_loop().time() < deadline
+        ):
+            await asyncio.sleep(0.01)
+        for task in self._tasks:
+            task.cancel()
+        # Swallow the failure if nobody awaited it (normal teardown).
+        if not self.failed.done():
+            self.failed.cancel()
+        else:
+            self.failed.exception()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

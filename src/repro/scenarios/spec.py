@@ -88,6 +88,19 @@ class ScenarioSpec:
             **fields,
         )
 
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """Machine-readable form (``repro scenarios --json``): the name,
+        the workload/cluster parameter overrides and the typed fault
+        events, so loadgen configs and external tooling never have to
+        scrape the human-oriented listing."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "config_overrides": dict(self.config_overrides),
+            "cluster_overrides": dict(self.cluster_overrides),
+            "faults": self.faults.to_dicts(),
+        }
+
     def describe(self) -> str:
         lines = [f"{self.name}: {self.summary}"]
         for field, value in self.config_overrides:

@@ -1,0 +1,47 @@
+"""Live serving: a wall-clock asyncio multiget KV service.
+
+The real-time counterpart of the simulated backend tier: the same cluster
+shape, calibrated service times and queue feedback, served over TCP with
+a length-prefixed JSON protocol.  Drive it with :mod:`repro.loadgen`
+(``repro loadgen`` / ``repro compare``) or start it standalone with
+``repro serve``.
+"""
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    error_frame,
+    priority_from_wire,
+    priority_to_wire,
+    read_frame,
+)
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_TIME_SCALE,
+    LiveServer,
+    run_server,
+)
+from .workers import DEFAULT_MAX_QUEUE, LiveJob, LiveWorker, QueueFullError
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_PORT",
+    "DEFAULT_TIME_SCALE",
+    "LiveJob",
+    "LiveServer",
+    "LiveWorker",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueFullError",
+    "encode_frame",
+    "error_frame",
+    "priority_from_wire",
+    "priority_to_wire",
+    "read_frame",
+    "run_server",
+]

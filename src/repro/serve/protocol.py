@@ -1,0 +1,108 @@
+"""The live wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 compact JSON.  JSON keeps the protocol inspectable with standard
+tools (``nc`` + ``jq`` suffice to poke a server); the length prefix keeps
+framing trivial and binary-safe.
+
+Frame types (the ``t`` field)
+-----------------------------
+Client -> server:
+
+``hello``       handshake: protocol version + expected cluster shape
+``op``          one key read: ``rid`` (wire id), ``server`` (worker id),
+                ``key``, ``size`` (value bytes), ``prio`` (priority tuple)
+``admin``       fault-injection and introspection commands (``cmd`` one of
+                ``slowdown``, ``restore``, ``crash``, ``resume``,
+                ``jitter``, ``clear-jitter``, ``stats``)
+
+Server -> client:
+
+``hello-ack``   handshake reply: actual shape, time scale, calibration
+``res``         completion of one ``op``: echoes ``rid``, carries the
+                measured ``queue_wait``/``service`` (model seconds) and the
+                piggybacked queue ``fb`` -- the same feedback the simulated
+                servers attach (C3's input)
+``congestion``  a worker's offered load exceeded capacity (credits input)
+``stats``       reply to ``admin``/``stats``
+``error``       the request could not be honored (bad frame, queue bound)
+
+All durations and rates on the wire are *model seconds* (see
+:mod:`repro.core.clock`), so a client never needs to know the server's
+time scale to interpret them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import typing as _t
+
+#: Protocol version; bumped on any incompatible frame change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (defense against garbage length prefixes).
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized or out-of-order frame."""
+
+
+def encode_frame(frame: _t.Mapping[str, _t.Any]) -> bytes:
+    """Serialize one frame dict to its wire form."""
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the cap")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> _t.Optional[_t.Dict[str, _t.Any]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} of 4 bytes)"
+        ) from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length} exceeds the cap")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of {length} bytes)"
+        ) from exc
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad frame payload: {exc}") from exc
+    if not isinstance(frame, dict) or "t" not in frame:
+        raise ProtocolError(f"frame is not a typed object: {frame!r}")
+    return frame
+
+
+def priority_to_wire(priority: _t.Tuple[float, ...]) -> _t.List[float]:
+    """Priority tuples travel as JSON arrays of numbers."""
+    return [float(p) for p in priority]
+
+
+def priority_from_wire(raw: _t.Any) -> _t.Tuple[float, ...]:
+    """Decode (and validate) a wire priority back into a sortable tuple."""
+    if not isinstance(raw, (list, tuple)) or not all(
+        isinstance(p, (int, float)) and not isinstance(p, bool) for p in raw
+    ):
+        raise ProtocolError(f"bad priority {raw!r}")
+    return tuple(float(p) for p in raw)
+
+
+def error_frame(message: str) -> _t.Dict[str, _t.Any]:
+    return {"t": "error", "error": str(message)}

@@ -1,0 +1,417 @@
+"""The live multiget KV service: an asyncio frontend over live workers.
+
+:class:`LiveServer` binds a TCP socket and serves the length-prefixed JSON
+protocol of :mod:`repro.serve.protocol`.  Behind the frontend sit
+``n_servers`` :class:`~repro.serve.workers.LiveWorker` instances -- the
+wall-clock analogue of the simulated backend tier, with the same cluster
+shape, the same calibrated service-time model and the same queue-state
+feedback on every response.  The server is strategy-agnostic by design:
+replica choice, priorities and pacing all happen client-side (in
+:mod:`repro.loadgen`), exactly as in the simulation, so one running server
+can be driven by any registered strategy.
+
+Fault injection arrives over the wire: ``admin`` frames throttle, crash,
+restart or jitter individual workers, which is how the load generator maps
+scenario fault schedules onto the live backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing as _t
+
+from ..cluster.server import congestion_ratio
+from ..cluster.topology import ClusterSpec
+from ..core.clock import WallClock
+from ..sim.rng import StreamFactory
+from ..workload.calibration import ServiceTimeModel
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    error_frame,
+    priority_from_wire,
+    read_frame,
+)
+from .workers import DEFAULT_MAX_QUEUE, LiveJob, LiveWorker, QueueFullError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..harness.config import ExperimentConfig
+
+#: Default model-to-wall time stretch for live runs.  Model service times
+#: are a few hundred microseconds; stretching 25x keeps every sleep well
+#: above the event-loop timer resolution, so live percentiles measure
+#: scheduling -- not timer quantization.
+DEFAULT_TIME_SCALE = 25.0
+
+#: Default TCP endpoint.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7411
+
+
+class _Connection:
+    """One client connection: a reader loop plus a serialized outbox."""
+
+    def __init__(
+        self,
+        server: "LiveServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self._outbox: "asyncio.Queue[bytes]" = asyncio.Queue()
+        self._sender = asyncio.get_running_loop().create_task(self._send_loop())
+        self.closed = False
+
+    def send(self, frame: _t.Mapping[str, _t.Any]) -> None:
+        """Queue one frame for delivery (safe from worker callbacks)."""
+        if not self.closed:
+            self._outbox.put_nowait(encode_frame(frame))
+
+    async def _send_loop(self) -> None:
+        try:
+            while True:
+                data = await self._outbox.get()
+                self.writer.write(data)
+                await self.writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+
+    async def close(self) -> None:
+        self.closed = True
+        # Flush queued frames first: the reply explaining *why* the
+        # connection is closing (an error frame after a protocol
+        # violation) must actually reach the peer.
+        deadline = asyncio.get_running_loop().time() + 1.0
+        while (
+            not self._outbox.empty()
+            and asyncio.get_running_loop().time() < deadline
+        ):
+            await asyncio.sleep(0.01)
+        self._sender.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+
+class LiveServer:
+    """Asyncio multiget KV service mirroring the simulated backend tier."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        service_model: ServiceTimeModel,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        seed: int = 1,
+        scenario: _t.Optional[str] = None,
+        congestion_interval: float = 0.1,
+        congestion_threshold: float = 1.3,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.cluster = cluster
+        self.service_model = service_model
+        self.seed = int(seed)
+        self.scenario = scenario
+        self.congestion_interval = float(congestion_interval)
+        self.congestion_threshold = float(congestion_threshold)
+        self.max_queue = int(max_queue)
+        self.host = host
+        self.port = int(port)
+        self.clock = WallClock(scale=time_scale)
+        self.workers: _t.List[LiveWorker] = []
+        self.connections: _t.List[_Connection] = []
+        self.frames_received = 0
+        self.congestion_frames_sent = 0
+        self._server: _t.Optional[asyncio.AbstractServer] = None
+        self._monitors: _t.List["asyncio.Task[None]"] = []
+
+    @classmethod
+    def from_config(
+        cls,
+        config: "ExperimentConfig",
+        time_scale: float = DEFAULT_TIME_SCALE,
+        seed: int = 1,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+    ) -> "LiveServer":
+        """A server matching one experiment config's backend tier."""
+        return cls(
+            cluster=config.cluster,
+            service_model=config.workload().service_model,
+            time_scale=time_scale,
+            seed=seed,
+            scenario=config.scenario,
+            congestion_interval=config.congestion_check_interval,
+            host=host,
+            port=port,
+            max_queue=max_queue,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start workers (port 0 picks an ephemeral one)."""
+        streams = StreamFactory(self.seed)
+        self.clock = WallClock(scale=self.clock.scale)  # t0 = serving start
+        self.workers = [
+            LiveWorker(
+                clock=self.clock,
+                worker_id=worker_id,
+                cores=self.cluster.cores_per_server,
+                service_model=self.service_model,
+                service_stream=streams.stream(f"service.{worker_id}"),
+                max_queue=self.max_queue,
+            )
+            for worker_id in range(self.cluster.n_servers)
+        ]
+        self._monitors = [
+            asyncio.get_running_loop().create_task(
+                self._congestion_monitor(worker),
+                name=f"live-monitor.{worker.worker_id}",
+            )
+            for worker in self.workers
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for monitor in self._monitors:
+            monitor.cancel()
+        self._monitors = []
+        for worker in self.workers:
+            worker.shutdown()
+        for connection in list(self.connections):
+            await connection.close()
+        self.connections = []
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(self, reader, writer)
+        self.connections.append(connection)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ConnectionError:
+                    break  # peer vanished mid-read; nothing left to answer
+                except ProtocolError as exc:
+                    connection.send(error_frame(str(exc)))
+                    break
+                if frame is None:
+                    break
+                self.frames_received += 1
+                try:
+                    self._dispatch(connection, frame)
+                except (ProtocolError, TypeError, ValueError) as exc:
+                    # Bad field values (a slowdown factor of 0, a
+                    # non-numeric mean) reject the one frame, never the
+                    # whole connection.
+                    connection.send(error_frame(str(exc)))
+        finally:
+            if connection in self.connections:
+                self.connections.remove(connection)
+            await connection.close()
+
+    def _dispatch(
+        self, connection: _Connection, frame: _t.Dict[str, _t.Any]
+    ) -> None:
+        kind = frame.get("t")
+        if kind == "op":
+            self._handle_op(connection, frame)
+        elif kind == "hello":
+            self._handle_hello(connection, frame)
+        elif kind == "admin":
+            self._handle_admin(connection, frame)
+        else:
+            raise ProtocolError(f"unknown frame type {kind!r}")
+
+    # -- data path ------------------------------------------------------------
+    def _handle_op(
+        self, connection: _Connection, frame: _t.Dict[str, _t.Any]
+    ) -> None:
+        try:
+            rid = int(frame["rid"])
+            worker_id = int(frame["server"])
+            key = int(frame["key"])
+            size = int(frame["size"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad op frame: {exc}") from exc
+        if not (0 <= worker_id < len(self.workers)):
+            raise ProtocolError(f"op addressed to unknown worker {worker_id}")
+        if size <= 0:
+            raise ProtocolError(f"op {rid} has non-positive value size {size}")
+        if "prio" not in frame:
+            # Defaulting would silently hand the request the best possible
+            # priority and corrupt any priority-scheduling measurement.
+            raise ProtocolError(f"op {rid} is missing its priority")
+        priority = priority_from_wire(frame["prio"])
+
+        def respond(
+            worker: LiveWorker, job: LiveJob, queue_wait: float, service: float
+        ) -> None:
+            connection.send(
+                {
+                    "t": "res",
+                    "rid": job.rid,
+                    "server": worker.worker_id,
+                    "queue_wait": queue_wait,
+                    "service": service,
+                    "fb": worker.feedback(),
+                }
+            )
+
+        job = LiveJob(
+            rid=rid, key=key, value_size=size, priority=priority, respond=respond
+        )
+        try:
+            self.workers[worker_id].submit(job)
+        except QueueFullError as exc:
+            connection.send(
+                {"t": "error", "error": str(exc), "rid": rid, "server": worker_id}
+            )
+
+    # -- control plane -----------------------------------------------------------
+    def _handle_hello(
+        self, connection: _Connection, frame: _t.Dict[str, _t.Any]
+    ) -> None:
+        if frame.get("proto") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client {frame.get('proto')!r}, "
+                f"server {PROTOCOL_VERSION}"
+            )
+        connection.send(
+            {
+                "t": "hello-ack",
+                "proto": PROTOCOL_VERSION,
+                "n_servers": self.cluster.n_servers,
+                "cores_per_server": self.cluster.cores_per_server,
+                "per_core_rate": self.cluster.per_core_rate,
+                "time_scale": self.clock.scale,
+                "scenario": self.scenario,
+                "seed": self.seed,
+            }
+        )
+
+    def _admin_targets(self, frame: _t.Dict[str, _t.Any]) -> _t.List[LiveWorker]:
+        raw = frame.get("servers")
+        if raw is None:
+            return list(self.workers)
+        try:
+            ids = [int(s) for s in raw]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad admin target list {raw!r}") from exc
+        for worker_id in ids:
+            if not (0 <= worker_id < len(self.workers)):
+                raise ProtocolError(f"admin targets unknown worker {worker_id}")
+        return [self.workers[i] for i in ids]
+
+    def _handle_admin(
+        self, connection: _Connection, frame: _t.Dict[str, _t.Any]
+    ) -> None:
+        command = frame.get("cmd")
+        targets = self._admin_targets(frame)
+        if command == "slowdown":
+            factor = float(frame.get("factor", 0))
+            for worker in targets:
+                worker.throttle(factor)
+        elif command == "restore":
+            factor = float(frame.get("factor", 0))
+            for worker in targets:
+                worker.restore(factor)
+        elif command == "crash":
+            for worker in targets:
+                worker.pause()
+        elif command == "resume":
+            for worker in targets:
+                worker.resume()
+        elif command == "jitter":
+            mean = float(frame.get("mean", 0.0))
+            sigma = float(frame.get("sigma", 0.0))
+            for worker in targets:
+                worker.set_jitter(mean, sigma)
+        elif command == "clear-jitter":
+            for worker in targets:
+                worker.set_jitter(0.0, 0.0)
+        elif command == "stats":
+            connection.send(
+                {
+                    "t": "stats",
+                    "completed": sum(w.completed for w in self.workers),
+                    "rejected": sum(w.rejected for w in self.workers),
+                    "frames_received": self.frames_received,
+                    "uptime_model_s": self.clock.now,
+                    "workers": [w.stats() for w in self.workers],
+                }
+            )
+            return
+        else:
+            raise ProtocolError(f"unknown admin command {command!r}")
+        connection.send({"t": "admin-ack", "cmd": command})
+
+    # -- congestion ---------------------------------------------------------------
+    async def _congestion_monitor(self, worker: LiveWorker) -> None:
+        """Mirror of the simulated congestion monitor: offered load plus
+        backlog against capacity, a frame to every client when overloaded."""
+        interval = self.congestion_interval
+        while True:
+            await self.clock.sleep(interval)
+            ratio = congestion_ratio(
+                worker.arrival_rate.rate(self.clock.now),
+                worker.queue_length(),
+                worker.capacity(),
+                interval,
+            )
+            if ratio > self.congestion_threshold:
+                frame = {
+                    "t": "congestion",
+                    "server": worker.worker_id,
+                    "ratio": ratio,
+                }
+                for connection in self.connections:
+                    connection.send(frame)
+                    self.congestion_frames_sent += 1
+
+
+async def run_server(
+    config: "ExperimentConfig",
+    time_scale: float = DEFAULT_TIME_SCALE,
+    seed: int = 1,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    ready: _t.Optional[_t.Callable[[LiveServer], None]] = None,
+) -> None:
+    """Start a server from a config and serve until cancelled.
+
+    ``ready`` is invoked with the bound server (its ``port`` resolved) --
+    the CLI prints the endpoint, tests grab the ephemeral port.
+    """
+    server = LiveServer.from_config(
+        config, time_scale=time_scale, seed=seed, host=host, port=port
+    )
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

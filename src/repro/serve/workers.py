@@ -1,0 +1,266 @@
+"""Live backend workers: bounded priority queues drained by asyncio cores.
+
+A :class:`LiveWorker` is the wall-clock analogue of the simulation's
+:class:`~repro.cluster.server.BackendServer`: requests land in a bounded
+priority queue (smaller priority tuple first, FIFO within a priority), and
+``cores`` concurrent asyncio tasks drain it, each holding a request for a
+*calibrated* service time (the same value-size-dependent
+:class:`~repro.workload.calibration.ServiceTimeModel` the simulation
+samples, stretched by the clock's time scale).
+
+Fault hooks mirror the simulated fault injector one-for-one so scenario
+fault schedules replay against live workers:
+
+* ``slowdown``/``restore`` -- multiply service times (stacking, like
+  overlapping :class:`~repro.cluster.faults.SlowdownFault` windows);
+* ``pause``/``resume`` -- crash/restart: cores stop starting new requests,
+  the queue is retained, nested windows must all close (exactly
+  :meth:`repro.cluster.server._ServerBase.pause` semantics);
+* response ``jitter`` -- the live stand-in for a degraded network on a
+  loopback link: an extra lognormal delay added to each response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import typing as _t
+from itertools import count
+
+from ..core.clock import WallClock
+from ..metrics.timeseries import EwmaEstimator, WindowedRate
+from ..sim.rng import Stream
+from ..workload.calibration import ServiceTimeModel
+from .protocol import ProtocolError
+
+#: Default bound on one worker's queue; hitting it is a protocol error
+#: (an open-loop generator that outruns the backend this far is measuring
+#: the bound, not the scheduler).
+DEFAULT_MAX_QUEUE = 100_000
+
+
+class QueueFullError(ProtocolError):
+    """The worker's bounded queue rejected a request."""
+
+
+class LiveJob:
+    """One enqueued request plus its completion callback."""
+
+    __slots__ = (
+        "rid",
+        "key",
+        "value_size",
+        "priority",
+        "respond",
+        "enqueued_at",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        key: int,
+        value_size: int,
+        priority: _t.Tuple[float, ...],
+        respond: _t.Callable[["LiveWorker", "LiveJob", float, float], None],
+    ) -> None:
+        self.rid = rid
+        self.key = key
+        self.value_size = value_size
+        self.priority = priority
+        self.respond = respond
+        self.enqueued_at = -1.0
+
+
+class LiveWorker:
+    """One backend worker: a priority queue plus ``cores`` server tasks."""
+
+    def __init__(
+        self,
+        clock: WallClock,
+        worker_id: int,
+        cores: int,
+        service_model: ServiceTimeModel,
+        service_stream: Stream,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        ewma_time_constant: float = 0.1,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.clock = clock
+        self.worker_id = int(worker_id)
+        self.cores = int(cores)
+        self.service_model = service_model
+        self.service_stream = service_stream
+        self.max_queue = int(max_queue)
+        self._heap: _t.List[_t.Tuple[_t.Tuple[float, ...], int, LiveJob]] = []
+        self._seq = count()
+        self._item_available = asyncio.Event()
+        #: Crash gate: set while running, cleared while crashed.
+        self._running = asyncio.Event()
+        self._running.set()
+        self._pause_depth = 0
+        #: Service-time multiplier; >1 while throttled by a fault.
+        self.speed_factor = 1.0
+        #: Extra per-response delay (model s); the loopback jitter stand-in.
+        self.jitter_mean = 0.0
+        self.jitter_sigma = 0.0
+        self.in_service = 0
+        self.completed = 0
+        self.rejected = 0
+        self.crashes = 0
+        self.busy_time = 0.0
+        self._ewma_service = EwmaEstimator(ewma_time_constant, initial=0.0)
+        self.arrival_rate = WindowedRate(window=0.1)
+        #: In-flight jittered responses (kept referenced until delivered).
+        self._jitter_tasks: _t.Set["asyncio.Task[None]"] = set()
+        self._cores: _t.List["asyncio.Task[None]"] = [
+            asyncio.get_running_loop().create_task(
+                self._core_loop(), name=f"live-worker{worker_id}.core{c}"
+            )
+            for c in range(self.cores)
+        ]
+
+    # -- intake -------------------------------------------------------------
+    def submit(self, job: LiveJob) -> None:
+        """Enqueue one request (raises :class:`QueueFullError` at the bound)."""
+        if len(self._heap) >= self.max_queue:
+            self.rejected += 1
+            raise QueueFullError(
+                f"worker {self.worker_id} queue bound {self.max_queue} hit"
+            )
+        job.enqueued_at = self.clock.now
+        self.arrival_rate.record(job.enqueued_at)
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+        self._item_available.set()
+
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    # -- feedback -----------------------------------------------------------
+    def feedback(self) -> _t.Dict[str, _t.Any]:
+        """Queue state piggybacked on responses (wire form of
+        :class:`~repro.cluster.messages.ServerFeedback`)."""
+        return {
+            "q": self.queue_length(),
+            "s": self.in_service,
+            "ew": self._ewma_service.value,
+        }
+
+    def capacity(self) -> float:
+        """Requests/second (model time) this worker sustains, all cores."""
+        mean = self._ewma_service.value
+        if mean <= 0:
+            mean = self.service_model.expected_time(1024)
+        return self.cores / mean
+
+    @property
+    def utilization_time(self) -> float:
+        """Cumulative busy core-time in model seconds."""
+        return self.busy_time
+
+    # -- fault hooks ----------------------------------------------------------
+    def throttle(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("throttle factor must be positive")
+        self.speed_factor *= factor
+
+    def restore(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("restore factor must be positive")
+        self.speed_factor /= factor
+
+    def pause(self) -> None:
+        """Crash: stop starting requests; the queue survives for resume()."""
+        self._pause_depth += 1
+        self.crashes += 1
+        self._running.clear()
+
+    def resume(self) -> None:
+        if self._pause_depth == 0:
+            return
+        self._pause_depth -= 1
+        if self._pause_depth == 0:
+            self._running.set()
+
+    @property
+    def paused(self) -> bool:
+        return self._pause_depth > 0
+
+    def set_jitter(self, mean: float, sigma: float) -> None:
+        """Add (or clear, with mean 0) per-response delay."""
+        if mean < 0 or sigma < 0:
+            raise ValueError("jitter parameters must be non-negative")
+        self.jitter_mean = float(mean)
+        self.jitter_sigma = float(sigma)
+
+    # -- the service loop --------------------------------------------------------
+    async def _get(self) -> LiveJob:
+        while True:
+            if self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                return job
+            self._item_available.clear()
+            await self._item_available.wait()
+
+    async def _core_loop(self) -> None:
+        while True:
+            job = await self._get()
+            await self._running.wait()  # crashed: hold work until restart
+            self.in_service += 1
+            start = self.clock.now
+            duration = self.speed_factor * self.service_model.sample_time(
+                job.value_size, self.service_stream
+            )
+            await self.clock.sleep(duration)
+            end = self.clock.now
+            self.in_service -= 1
+            self.completed += 1
+            # Account the *actual* elapsed model time: on a wall clock the
+            # sleep can overshoot, and honest feedback must include that.
+            self.busy_time += end - start
+            self._ewma_service.update(end, end - start)
+            queue_wait = max(0.0, start - job.enqueued_at)
+            service = end - start
+            if self.jitter_mean > 0:
+                # Jitter models the *network*, not the server: delay the
+                # response off-core so capacity is untouched (matching the
+                # simulated NetworkJitterFault, which only delays messages).
+                delay = (
+                    self.service_stream.lognormal_mean(
+                        self.jitter_mean, self.jitter_sigma
+                    )
+                    if self.jitter_sigma > 0
+                    else self.jitter_mean
+                )
+                task = asyncio.get_running_loop().create_task(
+                    self._respond_later(delay, job, queue_wait, service)
+                )
+                self._jitter_tasks.add(task)
+                task.add_done_callback(self._jitter_tasks.discard)
+            else:
+                job.respond(self, job, queue_wait, service)
+
+    async def _respond_later(
+        self, delay: float, job: LiveJob, queue_wait: float, service: float
+    ) -> None:
+        await self.clock.sleep(delay)
+        job.respond(self, job, queue_wait, service)
+
+    def stats(self) -> _t.Dict[str, _t.Any]:
+        return {
+            "worker": self.worker_id,
+            "completed": self.completed,
+            "queued": self.queue_length(),
+            "in_service": self.in_service,
+            "rejected": self.rejected,
+            "crashes": self.crashes,
+            "speed_factor": self.speed_factor,
+            "busy_time_s": self.busy_time,
+        }
+
+    def shutdown(self) -> None:
+        for task in list(self._cores) + list(self._jitter_tasks):
+            if not task.done():
+                task.cancel()

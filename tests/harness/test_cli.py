@@ -161,3 +161,83 @@ class TestCommands:
             "c3", "equalmax-credits", "equalmax-model",
             "unifincr-credits", "unifincr-model",
         }
+
+
+class TestScenariosJson:
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) >= 8
+        by_name = {entry["name"]: entry for entry in data}
+        assert "steady-state" in by_name and "straggler" in by_name
+        straggler = by_name["straggler"]
+        assert straggler["faults"][0]["kind"] == "slowdown"
+        assert straggler["faults"][0]["factor"] == 4.0
+        assert by_name["flash-crowd"]["config_overrides"]["load"] == 0.60
+
+    def test_infinite_durations_stay_json_safe(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hetero = next(e for e in data if e["name"] == "heterogeneous-cluster")
+        assert hetero["faults"][0]["duration"] == "inf"
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "run", "--strategy", "oblivious-random", "--tasks", "100",
+            "--cache", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "digest_prefix" in out
+
+    def test_clear_then_stats_empty_and_idempotent(self, tmp_path, capsys):
+        cache_dir = self._populate(tmp_path, capsys)
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 0" in capsys.readouterr().out  # idempotent
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_stats_on_missing_dir_is_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "nope")]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
+class TestLiveCommands:
+    def test_loadgen_refuses_unreachable_server(self, capsys):
+        # Port 1 on loopback: nothing listens there.
+        code = main([
+            "loadgen", "--scenario", "steady-state", "--tasks", "10",
+            "--port", "1",
+        ])
+        assert code == 1
+        assert "loadgen failed" in capsys.readouterr().err
+
+    def test_compare_rejects_unknown_strategy(self, capsys):
+        assert main([
+            "compare", "--strategy", "c3,warp-drive", "--tasks", "10",
+        ]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_loadgen_rejects_model_strategies(self, capsys):
+        assert main([
+            "loadgen", "--strategy", "unifincr-model", "--tasks", "10",
+        ]) == 2
+        assert "unrealizable" in capsys.readouterr().err
+
+    def test_compare_rejects_model_strategies_before_any_run(self, capsys):
+        assert main([
+            "compare", "--strategy", "c3,unifincr-model", "--tasks", "10",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unrealizable" in err

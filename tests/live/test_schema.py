@@ -1,0 +1,81 @@
+"""The shared summary-schema contract between sim and live runs.
+
+One validator (:func:`repro.harness.validate_summary_dict`) must accept
+what *both* realms emit -- the acceptance hinge for the sim<->live
+differential harness -- and reject malformed impostors.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    compare_strategies,
+    run_experiment,
+    validate_summary_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def sim_summary():
+    config = ExperimentConfig(strategy="oblivious-random", n_tasks=200)
+    runs = [run_experiment(config, seed) for seed in (1, 2)]
+    return compare_strategies({"oblivious-random": runs}).to_dict()
+
+
+class TestAccepts:
+    def test_sim_comparison_dict_validates(self, sim_summary):
+        validate_summary_dict(sim_summary)
+
+    def test_meta_block_is_permitted(self, sim_summary):
+        data = dict(sim_summary)
+        data["meta"] = {"realm": "live", "time_scale": 25.0}
+        validate_summary_dict(data)
+
+    def test_survives_json_round_trip(self, sim_summary):
+        validate_summary_dict(json.loads(json.dumps(sim_summary)))
+
+
+class TestRejects:
+    def test_missing_seeds(self, sim_summary):
+        data = {"strategies": sim_summary["strategies"]}
+        with pytest.raises(ValueError, match="seeds"):
+            validate_summary_dict(data)
+
+    def test_unknown_top_level_key(self, sim_summary):
+        data = dict(sim_summary)
+        data["latencies"] = []
+        with pytest.raises(ValueError, match="unexpected top-level"):
+            validate_summary_dict(data)
+
+    def test_empty_strategies(self, sim_summary):
+        data = dict(sim_summary)
+        data["strategies"] = {}
+        with pytest.raises(ValueError, match="strategies"):
+            validate_summary_dict(data)
+
+    def test_missing_percentiles(self, sim_summary):
+        data = copy.deepcopy(sim_summary)
+        del data["strategies"]["oblivious-random"]["percentiles_ms"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_summary_dict(data)
+
+    def test_non_finite_percentile(self, sim_summary):
+        data = copy.deepcopy(sim_summary)
+        data["strategies"]["oblivious-random"]["percentiles_ms"]["p99"] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            validate_summary_dict(data)
+
+    def test_bad_percentile_label(self, sim_summary):
+        data = copy.deepcopy(sim_summary)
+        data["strategies"]["oblivious-random"]["percentiles_ms"]["q99"] = 1.0
+        with pytest.raises(ValueError, match="label"):
+            validate_summary_dict(data)
+
+    def test_per_seed_length_mismatch(self, sim_summary):
+        data = copy.deepcopy(sim_summary)
+        data["strategies"]["oblivious-random"]["per_seed_p99_ms"].append(1.0)
+        with pytest.raises(ValueError, match="per_seed_p99_ms"):
+            validate_summary_dict(data)

@@ -39,6 +39,28 @@ class TestRoundTrip:
         _, meta = load_trace(path)
         assert meta == {}
 
+    def test_all_task_fields_and_op_linkage_survive(self, small_trace, tmp_path):
+        """Every Task field -- including the op->task back-references and
+        per-op fan-out structure -- must survive a round trip."""
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, small_trace)
+        loaded, _ = load_trace(path)
+        for orig, back in zip(small_trace, loaded):
+            assert back.fanout == orig.fanout
+            assert isinstance(back.operations, tuple)
+            for op in back.operations:
+                assert op.task_id == back.task_id
+            assert [op.op_id for op in back.operations] == [
+                op.op_id for op in orig.operations
+            ]
+
+    def test_nested_metadata_survives(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        metadata = {"seed": 7, "workload": {"load": 0.7, "fanout": 8.6}}
+        save_trace(path, small_trace, metadata=metadata)
+        _, meta = load_trace(path)
+        assert meta == metadata
+
 
 class TestErrors:
     def test_empty_file(self, tmp_path):
@@ -80,4 +102,56 @@ class TestErrors:
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:-1]) + "\n")  # drop last task
         with pytest.raises(TraceFormatError, match="declares"):
+            load_trace(path)
+
+    def test_truncated_mid_record(self, small_trace, tmp_path):
+        """A write cut off mid-task-record (half a JSON object) must fail
+        as a format error, not leak a JSONDecodeError."""
+        path = tmp_path / "cut.jsonl"
+        save_trace(path, small_trace)
+        content = path.read_text()
+        path.write_text(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+        with pytest.raises(TraceFormatError, match="bad task record|declares"):
+            load_trace(path)
+
+    def test_missing_task_field(self, small_trace, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["arrival_time"]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="bad task record"):
+            load_trace(path)
+
+    def test_malformed_op_arity(self, small_trace, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["ops"] = [[1, 2]]  # op records are [op_id, key, value_size]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="bad task record"):
+            load_trace(path)
+
+    def test_error_message_names_file_and_line(self, small_trace, tmp_path):
+        path = tmp_path / "loc.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        lines[3] = "{broken"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match=r"loc\.jsonl:4"):
+            load_trace(path)
+
+    def test_missing_version_field(self, small_trace, tmp_path):
+        path = tmp_path / "nover.jsonl"
+        save_trace(path, small_trace)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["version"]
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="version"):
             load_trace(path)
