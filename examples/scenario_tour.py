@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Tour the scenario registry: one strategy across every named scenario.
 
-Every registered scenario (steady-state, straggler, recurring-gc,
-flash-crowd, hotspot-skew, heterogeneous-cluster, network-jitter,
-crash-restart, plus anything third-party code registered) is run with the
-same strategy and seed, and the percentile shifts are tabulated.  This is
-the "as many scenarios as you can imagine" loop: adding a scenario to the
-registry adds a row here with no other changes.
+Every registered scenario -- the baseline and fault scenarios
+(steady-state, straggler, recurring-gc, flash-crowd, hotspot-skew,
+heterogeneous-cluster, network-jitter, crash-restart), the placement
+pathologies (hot-shard, replica-lag, ring-rebalance, shard-skew; see
+docs/scenarios.md), plus anything third-party code registered -- is run
+with the same strategy and seed, and the percentile shifts are
+tabulated.  This is the "as many scenarios as you can imagine" loop:
+adding a scenario to the registry adds a row here with no other changes.
 
 Usage::
 

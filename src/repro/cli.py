@@ -10,9 +10,11 @@ Commands
 ``loadgen``    drive a live service with a scenario's workload + faults
 ``compare``    sim vs live differential for one scenario
 ``trace``      generate / inspect workload traces
+``ring``       inspect / perturb the replica-placement ring
 ``cache``      inspect / clear the on-disk result cache
 ``strategies`` list the registered strategy builders
 ``scenarios``  list the registered workload scenarios (``--json`` for tools)
+``docs-cli``   render (or verify) ``docs/cli.md`` from this argparse tree
 
 Grid commands (``run`` with several seeds, ``sweep``, ``figure2``) accept
 ``--jobs N`` to fan independent simulation runs over ``N`` worker
@@ -463,6 +465,110 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_ring(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "ring", help="inspect or perturb the replica-placement ring"
+    )
+    p.add_argument("--scenario", default=None, choices=scenario_names(),
+                   help="take the cluster shape from a named scenario")
+    p.add_argument("--servers", type=int, default=None,
+                   help="server count (default: the paper's 9)")
+    p.add_argument("--rf", type=int, default=None, metavar="R",
+                   help="replication factor (default 3; R == servers gives "
+                        "the degenerate full-replication ring)")
+    p.add_argument("--partitions", type=int, default=None,
+                   help="partition (shard) count")
+    p.add_argument("--kind", default=None, choices=("ring", "chash"),
+                   help="token ring or vnode consistent hashing")
+    p.add_argument("--keys", type=int, default=10_000, metavar="N",
+                   help="keyspace sampled for ownership shares")
+    p.add_argument("--key", type=int, action="append", default=None,
+                   metavar="K", help="look up K's partition and replica set "
+                   "(repeatable)")
+    p.add_argument("--exclude", default=None, metavar="IDS",
+                   help="comma-separated server ids to decommission; prints "
+                        "the movement delta against the theoretical minimum")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable report")
+    p.set_defaults(func=_cmd_ring)
+
+
+def _ring_cluster(args: argparse.Namespace):
+    """The ClusterSpec a ``repro ring`` invocation describes."""
+    from .cluster.topology import ClusterSpec
+    from .scenarios import get_scenario
+
+    if args.scenario is not None:
+        base = get_scenario(args.scenario).build_config(n_tasks=1).cluster
+    else:
+        base = ClusterSpec()
+    import dataclasses as _dc
+
+    overrides: _t.Dict[str, _t.Any] = {}
+    if args.servers is not None:
+        overrides["n_servers"] = args.servers
+    if args.rf is not None:
+        overrides["replication_factor"] = args.rf
+    if args.partitions is not None:
+        overrides["n_partitions"] = args.partitions
+    if args.kind is not None:
+        overrides["placement_kind"] = args.kind
+    return _dc.replace(base, **overrides) if overrides else base
+
+
+def _cmd_ring(args: argparse.Namespace) -> int:
+    from .placement import placement_delta, ring_report
+
+    try:
+        cluster = _ring_cluster(args)
+        placement = cluster.make_placement()
+        placement.validate()
+    except ValueError as exc:
+        print(f"bad ring: {exc}", file=sys.stderr)
+        return 2
+    report = ring_report(placement, n_keys=args.keys)
+    lookups = [
+        {
+            "key": key,
+            "partition": placement.partition_of(key),
+            "replicas": list(placement.replicas_of_key(key)),
+        }
+        for key in (args.key or ())
+    ]
+    delta = None
+    if args.exclude:
+        try:
+            excluded = [int(s) for s in args.exclude.split(",") if s]
+            perturbed = placement.without_servers(excluded)
+            delta = placement_delta(placement, perturbed, n_keys=args.keys)
+        except (ValueError, NotImplementedError) as exc:
+            print(f"cannot exclude: {exc}", file=sys.stderr)
+            return 2
+    if args.as_json:
+        out: _t.Dict[str, _t.Any] = report.to_dict()
+        if lookups:
+            out["lookups"] = lookups
+        if delta is not None:
+            out["exclude_delta"] = delta.to_dict()
+        print(json.dumps(out, indent=2))
+        return 0
+    print(repr(placement))
+    print(render_table(report.to_rows(), title="ownership", float_fmt=".1f"))
+    print(f"balance: key-share CV {report.replica_share_cv:.3f}, "
+          f"hottest server at {report.max_over_mean:.2f}x the mean share")
+    print("\n".join(report.ownership_bars()))
+    if lookups:
+        print(render_table(lookups, title="key lookups"))
+    if delta is not None:
+        print(
+            f"decommissioning {args.exclude}: {delta.changed_partitions} "
+            f"partition(s) re-home; {delta.moved_fraction:.1%} of keys "
+            f"change replica set ({delta.primary_moved_fraction:.1%} change "
+            f"primary); theoretical minimum {delta.affected_fraction:.1%}"
+        )
+    return 0
+
+
 def _add_cache(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -542,6 +648,121 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _subcommands(
+    parser: argparse.ArgumentParser,
+) -> _t.Dict[str, argparse.ArgumentParser]:
+    """Name -> subparser map of one parser's subcommands (empty if none)."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _describe_action(action: argparse.Action) -> _t.Optional[_t.Dict[str, str]]:
+    """One markdown table row for an argparse action (None = skip)."""
+    if isinstance(
+        action, (argparse._HelpAction, argparse._SubParsersAction)
+    ):
+        return None
+    if action.option_strings:
+        metavar = action.metavar or (
+            action.dest.upper() if action.nargs != 0 else ""
+        )
+        flag = ", ".join(action.option_strings)
+        if metavar and action.nargs != 0:
+            flag = f"{flag} {metavar}"
+    else:
+        flag = action.metavar or action.dest
+    if action.default is None or action.default is argparse.SUPPRESS:
+        default = "--"
+    elif action.default is False and action.nargs == 0:
+        default = "--"
+    else:
+        default = repr(action.default)
+    help_text = (action.help or "").replace("|", "\\|")
+    if action.choices is not None and len(action.choices) <= 8:
+        help_text += f" (choices: {', '.join(str(c) for c in action.choices)})"
+    return {"flag": f"`{flag}`", "default": default, "help": help_text}
+
+
+def render_cli_docs(parser: _t.Optional[argparse.ArgumentParser] = None) -> str:
+    """Render ``docs/cli.md`` from the live argparse tree.
+
+    Every flag of every subcommand lands in one greppable file; the docs
+    test regenerates this text and diffs it against the committed file,
+    so the CLI reference can never drift from the parser.
+    """
+    parser = parser if parser is not None else build_parser()
+    lines = [
+        "# CLI reference",
+        "",
+        "<!-- Generated by `repro docs-cli --out docs/cli.md`; do not edit"
+        " by hand. -->",
+        "",
+        f"`python -m repro` / `repro` -- {parser.description}",
+        "",
+        "Run `repro <command> --help` for the authoritative, current help.",
+        "",
+    ]
+
+    def emit(name: str, sub: argparse.ArgumentParser, depth: int) -> None:
+        lines.append(f"{'#' * depth} `repro {name}`")
+        lines.append("")
+        help_text = sub.description or ""
+        if help_text:
+            lines.append(help_text)
+            lines.append("")
+        rows = [r for r in map(_describe_action, sub._actions) if r]
+        if rows:
+            lines.append("| flag | default | meaning |")
+            lines.append("| --- | --- | --- |")
+            for row in rows:
+                lines.append(
+                    f"| {row['flag']} | {row['default']} | {row['help']} |"
+                )
+            lines.append("")
+        for child_name, child in _subcommands(sub).items():
+            emit(f"{name} {child_name}", child, depth + 1)
+
+    for name, sub in _subcommands(parser).items():
+        emit(name, sub, 2)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _add_docs_cli(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "docs-cli", help="render docs/cli.md from the argparse tree"
+    )
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the markdown here (default: stdout)")
+    p.add_argument("--check", default=None, metavar="PATH",
+                   help="exit 1 unless PATH matches the rendered markdown")
+    p.set_defaults(func=_cmd_docs_cli)
+
+
+def _cmd_docs_cli(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    text = render_cli_docs()
+    if args.check is not None:
+        on_disk = Path(args.check).read_text(encoding="utf-8")
+        if on_disk != text:
+            print(
+                f"{args.check} is stale; regenerate with "
+                f"`repro docs-cli --out {args.check}`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.check} is up to date")
+        return 0
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+        return 0
+    print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -556,9 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_loadgen(subparsers)
     _add_compare(subparsers)
     _add_trace(subparsers)
+    _add_ring(subparsers)
     _add_cache(subparsers)
     _add_strategies(subparsers)
     _add_scenarios(subparsers)
+    _add_docs_cli(subparsers)
     return parser
 
 

@@ -9,6 +9,7 @@ from .faults import (
     FlashCrowdFault,
     NO_FAULTS,
     NetworkJitterFault,
+    RebalanceFault,
     SlowdownFault,
     SlowdownInjector,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "PAPER_ONE_WAY_LATENCY",
     "Placement",
     "PullServer",
+    "RebalanceFault",
     "RequestMessage",
     "ResponseMessage",
     "RingPlacement",

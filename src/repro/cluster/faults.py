@@ -24,6 +24,14 @@ servers at once:
   window (load step / flash crowd).  Overlapping crowds compose
   multiplicatively.  The runner's feeder consults
   :meth:`FaultInjector.arrival_scale` to compress inter-arrival gaps.
+* :class:`RebalanceFault` -- decommission one or more servers from the
+  placement ring for a window: their partitions re-home onto the
+  surviving replicas (consistent hashing moves only the affected groups)
+  and newly-prepared requests route around them; the servers rejoin when
+  the window closes.  Requires a
+  :class:`~repro.placement.MutablePlacement` (the runner and the live
+  driver wrap the config's placement in one).  Overlapping rebalances
+  compose: each window's exclusions stack on the base ring.
 
 Every event supports a delayed ``start``, a ``duration`` (``inf`` makes the
 condition permanent -- heterogeneous clusters) and an optional ``period``
@@ -41,6 +49,7 @@ from ..sim.engine import Environment
 from .network import JitteredLatency, Network
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..placement import MutablePlacement
     from .server import _ServerBase
 
 
@@ -174,8 +183,46 @@ class FlashCrowdFault:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class RebalanceFault:
+    """Remove ``servers`` from the placement ring for a window.
+
+    Models a rolling decommission / maintenance drain: the targeted
+    servers stop being *eligible* replicas (requests prepared during the
+    window route to the surviving members of each affected group), then
+    rejoin when the window closes.  An infinite ``duration`` models a
+    permanent scale-in.  The servers themselves keep running -- requests
+    already addressed to them complete normally, exactly like a drained
+    node finishing its queue.
+    """
+
+    kind: _t.ClassVar[str] = "rebalance"
+
+    servers: _t.Tuple[int, ...] = (0,)
+    start: float = 0.0
+    duration: float = 0.2
+    period: _t.Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", _as_server_tuple(self.servers))
+        if not self.servers:
+            raise ValueError("rebalance fault targets no servers")
+        if len(set(self.servers)) != len(self.servers):
+            raise ValueError("rebalance fault lists a server twice")
+        _validate_window(self.start, self.duration, self.period)
+
+    def describe(self) -> str:
+        return (
+            f"ring rebalance: decommission servers {list(self.servers)} "
+            f"@{self.start:g}s for {self.duration:g}s"
+            + (f" every {self.period:g}s" if self.period is not None else "")
+        )
+
+
 #: Any scriptable fault event.
-FaultEvent = _t.Union[SlowdownFault, CrashFault, NetworkJitterFault, FlashCrowdFault]
+FaultEvent = _t.Union[
+    SlowdownFault, CrashFault, NetworkJitterFault, FlashCrowdFault, RebalanceFault
+]
 
 
 def fault_to_dict(event: FaultEvent) -> _t.Dict[str, _t.Any]:
@@ -199,6 +246,7 @@ _EVENT_TYPES: _t.Tuple[type, ...] = (
     CrashFault,
     NetworkJitterFault,
     FlashCrowdFault,
+    RebalanceFault,
 )
 
 
@@ -243,6 +291,35 @@ class FaultSchedule:
 
 #: The empty schedule (module-level singleton for defaults).
 NO_FAULTS = FaultSchedule()
+
+
+def validate_rebalance_feasibility(
+    schedule: FaultSchedule, placement: _t.Optional["MutablePlacement"]
+) -> None:
+    """Fail fast on rebalance scripts that cannot execute.
+
+    Checked at injector construction (sim and live) so a bad schedule
+    rejects before the run instead of crashing mid-window: every
+    rebalance event needs a mutable placement, and each event must leave
+    at least ``replication_factor`` live servers on its own.  Windows
+    that *overlap* can still jointly exceed that bound; the mid-run
+    exclusion then raises the same replication-factor error at the
+    offending window's onset.
+    """
+    for event in schedule.events:
+        if not isinstance(event, RebalanceFault):
+            continue
+        if placement is None:
+            raise ValueError(
+                "rebalance faults need a MutablePlacement to re-home"
+            )
+        live = placement.n_servers - len(event.servers)
+        if live < placement.replication_factor:
+            raise ValueError(
+                f"infeasible {event.describe()!r}: it would leave {live} "
+                f"live server(s), fewer than replication_factor "
+                f"{placement.replication_factor}"
+            )
 
 
 def drive_fault_windows(
@@ -296,16 +373,19 @@ class FaultInjector:
         schedule: FaultSchedule,
         servers: _t.Sequence["_ServerBase"],
         network: _t.Optional[Network] = None,
+        placement: _t.Optional["MutablePlacement"] = None,
     ) -> None:
         schedule.validate_targets(len(servers))
         if network is None and any(
             isinstance(event, NetworkJitterFault) for event in schedule.events
         ):
             raise ValueError("network-jitter faults need a network to degrade")
+        validate_rebalance_feasibility(schedule, placement)
         self.env = env
         self.schedule = schedule
         self.servers = list(servers)
         self.network = network
+        self.placement = placement
         #: Windows opened so far, per fault kind present in the schedule
         #: (kinds appear with count 0 until their first window opens).
         self.windows: _t.Dict[str, int] = {
@@ -352,6 +432,9 @@ class FaultInjector:
             )
         elif isinstance(event, FlashCrowdFault):
             self._crowd_scale *= event.multiplier
+        elif isinstance(event, RebalanceFault):
+            assert self.placement is not None  # enforced at construction
+            self.placement.exclude(event.servers)
 
     def _revert(self, event: FaultEvent) -> None:
         if isinstance(event, SlowdownFault):
@@ -367,6 +450,9 @@ class FaultInjector:
                 self.network.latency = self._base_latency
         elif isinstance(event, FlashCrowdFault):
             self._crowd_scale /= event.multiplier
+        elif isinstance(event, RebalanceFault):
+            assert self.placement is not None  # enforced at construction
+            self.placement.readmit(event.servers)
 
     # -- reporting ---------------------------------------------------------------
     def extras(self) -> _t.Dict[str, float]:

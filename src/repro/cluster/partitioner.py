@@ -1,232 +1,26 @@
-"""Partitioning and replica placement (Cassandra/Riak-style).
+"""Backward-compatible re-export of the placement rings.
 
-The paper's system model: a set of *flexible* servers, each belonging to R
-replica groups; a replica group is the set of servers holding copies of one
-data partition; R is also the replication factor, and reads use 1-out-of-R.
-
-Two placements are provided:
-
-* :class:`RingPlacement` -- the classic token ring: partition ``p`` is
-  replicated on servers ``p, p+1, ..., p+R-1 (mod N)``.  With one partition
-  per server, every server belongs to exactly R groups, which is the
-  paper's model.
-* :class:`ConsistentHashRing` -- virtual-node consistent hashing, for
-  ablations with many partitions per server and for realistic key -> token
-  mapping.
+The partitioning/replica-placement logic grew into its own package,
+:mod:`repro.placement` (rings, rebalancing, ownership inspection); this
+module remains so that existing imports -- and the historical name the
+cluster substrate used -- keep working.  New code should import from
+:mod:`repro.placement` directly.
 """
 
 from __future__ import annotations
 
-import bisect
-import hashlib
-import typing as _t
+from ..placement.ring import (
+    ConsistentHashRing,
+    ExplicitPlacement,
+    Placement,
+    RingPlacement,
+    stable_hash,
+)
 
-
-def stable_hash(value: _t.Union[int, str], salt: str = "") -> int:
-    """Deterministic 64-bit hash, stable across processes and runs.
-
-    Python's built-in ``hash`` is randomized per process for strings and is
-    identity-like for small ints; neither is acceptable for reproducible
-    placement, so keys are run through SHA-256.
-    """
-    digest = hashlib.sha256(f"{salt}:{value}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big")
-
-
-class Placement:
-    """Interface: key -> partition -> replica servers."""
-
-    n_partitions: int
-    n_servers: int
-    replication_factor: int
-
-    def partition_of(self, key: int) -> int:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def replicas_of(self, partition: int) -> _t.Tuple[int, ...]:  # pragma: no cover
-        raise NotImplementedError
-
-    # -- derived helpers ----------------------------------------------------
-    def replicas_of_key(self, key: int) -> _t.Tuple[int, ...]:
-        return self.replicas_of(self.partition_of(key))
-
-    def partitions_of_server(self, server_id: int) -> _t.List[int]:
-        """Partitions (replica groups) a server belongs to."""
-        return [
-            p
-            for p in range(self.n_partitions)
-            if server_id in self.replicas_of(p)
-        ]
-
-    def validate(self) -> None:
-        """Check structural invariants; raises ValueError on violation."""
-        for p in range(self.n_partitions):
-            replicas = self.replicas_of(p)
-            if len(replicas) != self.replication_factor:
-                raise ValueError(
-                    f"partition {p} has {len(replicas)} replicas, "
-                    f"expected {self.replication_factor}"
-                )
-            if len(set(replicas)) != len(replicas):
-                raise ValueError(f"partition {p} has duplicate replicas {replicas}")
-            for s in replicas:
-                if not (0 <= s < self.n_servers):
-                    raise ValueError(f"partition {p} references bad server {s}")
-
-
-class ExplicitPlacement(Placement):
-    """Hand-specified placement for worked examples and tests.
-
-    Used by the Figure 1 toy reproduction, where the paper pins specific
-    keys to specific servers (S1=[A,E], S2=[B,C], S3=[D]).
-    """
-
-    def __init__(
-        self,
-        key_to_partition: _t.Mapping[int, int],
-        partition_replicas: _t.Sequence[_t.Sequence[int]],
-        n_servers: int,
-    ) -> None:
-        if not partition_replicas:
-            raise ValueError("need at least one partition")
-        if n_servers <= 0:
-            raise ValueError("n_servers must be positive")
-        sizes = {len(r) for r in partition_replicas}
-        if len(sizes) != 1:
-            raise ValueError("all partitions must have the same replication factor")
-        self._key_to_partition = dict(key_to_partition)
-        self._groups = [tuple(r) for r in partition_replicas]
-        self.n_partitions = len(self._groups)
-        self.n_servers = int(n_servers)
-        self.replication_factor = sizes.pop()
-        for key, partition in self._key_to_partition.items():
-            if not (0 <= partition < self.n_partitions):
-                raise ValueError(f"key {key} maps to bad partition {partition}")
-
-    def partition_of(self, key: int) -> int:
-        try:
-            return self._key_to_partition[key]
-        except KeyError:
-            raise KeyError(f"key {key} has no explicit placement") from None
-
-    def replicas_of(self, partition: int) -> _t.Tuple[int, ...]:
-        if not (0 <= partition < self.n_partitions):
-            raise ValueError(f"partition {partition} out of range")
-        return self._groups[partition]
-
-    def __repr__(self) -> str:
-        return (
-            f"ExplicitPlacement(n_partitions={self.n_partitions}, "
-            f"n_servers={self.n_servers})"
-        )
-
-
-class RingPlacement(Placement):
-    """Token-ring placement: one token per server, successor replication."""
-
-    def __init__(
-        self,
-        n_servers: int,
-        replication_factor: int = 3,
-        n_partitions: _t.Optional[int] = None,
-        salt: str = "ring",
-    ) -> None:
-        if n_servers <= 0:
-            raise ValueError("n_servers must be positive")
-        if not (1 <= replication_factor <= n_servers):
-            raise ValueError("need 1 <= replication_factor <= n_servers")
-        self.n_servers = int(n_servers)
-        self.replication_factor = int(replication_factor)
-        self.n_partitions = int(n_partitions) if n_partitions else int(n_servers)
-        if self.n_partitions < 1:
-            raise ValueError("n_partitions must be positive")
-        self.salt = salt
-
-    def partition_of(self, key: int) -> int:
-        return stable_hash(key, self.salt) % self.n_partitions
-
-    def replicas_of(self, partition: int) -> _t.Tuple[int, ...]:
-        if not (0 <= partition < self.n_partitions):
-            raise ValueError(f"partition {partition} out of range")
-        first = partition % self.n_servers
-        return tuple(
-            (first + i) % self.n_servers for i in range(self.replication_factor)
-        )
-
-    def __repr__(self) -> str:
-        return (
-            f"RingPlacement(n_servers={self.n_servers}, "
-            f"replication_factor={self.replication_factor}, "
-            f"n_partitions={self.n_partitions})"
-        )
-
-
-class ConsistentHashRing(Placement):
-    """Consistent hashing with virtual nodes.
-
-    Each server owns ``vnodes`` points on a 64-bit ring; a partition's
-    primary is the owner of the first point clockwise from the partition's
-    token, and the R-1 successors (skipping duplicates of the same server)
-    complete the replica group.
-    """
-
-    def __init__(
-        self,
-        n_servers: int,
-        replication_factor: int = 3,
-        n_partitions: int = 64,
-        vnodes: int = 16,
-        salt: str = "chash",
-    ) -> None:
-        if n_servers <= 0:
-            raise ValueError("n_servers must be positive")
-        if not (1 <= replication_factor <= n_servers):
-            raise ValueError("need 1 <= replication_factor <= n_servers")
-        if n_partitions < 1:
-            raise ValueError("n_partitions must be positive")
-        if vnodes < 1:
-            raise ValueError("vnodes must be positive")
-        self.n_servers = int(n_servers)
-        self.replication_factor = int(replication_factor)
-        self.n_partitions = int(n_partitions)
-        self.vnodes = int(vnodes)
-        self.salt = salt
-
-        points: _t.List[_t.Tuple[int, int]] = []
-        for server in range(self.n_servers):
-            for v in range(self.vnodes):
-                points.append((stable_hash(f"{server}:{v}", salt), server))
-        points.sort()
-        self._tokens = [t for t, _ in points]
-        self._owners = [s for _, s in points]
-        # Precompute replica groups per partition (queried constantly).
-        self._groups: _t.List[_t.Tuple[int, ...]] = [
-            self._compute_replicas(p) for p in range(self.n_partitions)
-        ]
-
-    def _compute_replicas(self, partition: int) -> _t.Tuple[int, ...]:
-        token = stable_hash(f"partition:{partition}", self.salt)
-        idx = bisect.bisect_right(self._tokens, token) % len(self._tokens)
-        replicas: _t.List[int] = []
-        steps = 0
-        while len(replicas) < self.replication_factor and steps < len(self._owners):
-            owner = self._owners[(idx + steps) % len(self._owners)]
-            if owner not in replicas:
-                replicas.append(owner)
-            steps += 1
-        return tuple(replicas)
-
-    def partition_of(self, key: int) -> int:
-        return stable_hash(key, self.salt + ":key") % self.n_partitions
-
-    def replicas_of(self, partition: int) -> _t.Tuple[int, ...]:
-        if not (0 <= partition < self.n_partitions):
-            raise ValueError(f"partition {partition} out of range")
-        return self._groups[partition]
-
-    def __repr__(self) -> str:
-        return (
-            f"ConsistentHashRing(n_servers={self.n_servers}, "
-            f"replication_factor={self.replication_factor}, "
-            f"n_partitions={self.n_partitions}, vnodes={self.vnodes})"
-        )
+__all__ = [
+    "ConsistentHashRing",
+    "ExplicitPlacement",
+    "Placement",
+    "RingPlacement",
+    "stable_hash",
+]

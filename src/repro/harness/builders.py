@@ -84,6 +84,21 @@ class ClusterContext:
     metrics: MetricRegistry
     shared: _t.Dict[str, _t.Any] = dataclasses.field(default_factory=dict)
 
+    def candidate_replicas(self, key: int) -> _t.Tuple[int, ...]:
+        """The servers currently eligible to serve ``key`` (primary first).
+
+        The placement seam's contract for builder authors: a dispatch
+        strategy must only address servers from this set.  The built-in
+        strategies hold ``ctx.placement`` and derive the same set via
+        ``partition_of`` + ``replicas_of`` (they need the partition id
+        for the request anyway); this accessor is the one-call form, and
+        the placement tests pin both paths to the same answer.  The
+        runner wraps the config's ring in a
+        :class:`~repro.placement.MutablePlacement`, so a mid-run
+        rebalance changes the answer between calls.
+        """
+        return self.placement.replicas_of_key(key)
+
 
 class StrategyBuilder:
     """One registered strategy: how to assemble its clients and servers.

@@ -21,6 +21,7 @@ import typing as _t
 
 from ..cluster.faults import FaultSchedule, NO_FAULTS, SlowdownFault
 from ..cluster.topology import ClusterSpec
+from ..workload.popularity import SubsetHotspotPopularity
 from ..workload.soundcloud import (
     PAPER_LOAD,
     PAPER_MEAN_FANOUT,
@@ -55,6 +56,12 @@ class ExperimentConfig:
     playlist_fraction: float = 0.25
     #: "atikoglu" (GP fit of the Facebook ETC pool) or "pareto:<alpha>".
     value_size_model: str = "atikoglu"
+    #: Placement-aware hotspot: concentrate traffic on the keys this
+    #: partition's replica group owns (None disables; the `hot-shard`
+    #: scenario sets it).
+    hot_shard: _t.Optional[int] = None
+    #: Fraction of key draws redirected to the hot shard's keys.
+    hot_shard_weight: float = 0.5
     service_noise: str = "none"
     #: Fraction of earliest tasks excluded from statistics (cold start).
     warmup_fraction: float = 0.05
@@ -94,6 +101,15 @@ class ExperimentConfig:
             raise ValueError("credits intervals must be positive")
         if self.hedge_delay <= 0:
             raise ValueError("hedge_delay must be positive")
+        if self.hot_shard is not None:
+            if not (0.0 < self.hot_shard_weight < 1.0):
+                raise ValueError("hot_shard_weight must be in (0, 1)")
+            n_partitions = self.cluster.make_placement().n_partitions
+            if not (0 <= self.hot_shard < n_partitions):
+                raise ValueError(
+                    f"hot_shard {self.hot_shard} out of range; the cluster's "
+                    f"placement has partitions 0..{n_partitions - 1}"
+                )
         # Any negative id means "disabled"; normalize so configs compare equal.
         if self.slowdown_server < 0:
             object.__setattr__(self, "slowdown_server", -1)
@@ -126,8 +142,14 @@ class ExperimentConfig:
         return self.fault_schedule + FaultSchedule((legacy,))
 
     def workload(self) -> SoundCloudWorkload:
-        """The workload this config implies (shared across strategies)."""
-        return make_soundcloud_workload(
+        """The workload this config implies (shared across strategies).
+
+        With ``hot_shard`` set, the popularity model is wrapped so that
+        ``hot_shard_weight`` of key draws land on the keys that
+        partition's replica group owns -- heat aimed at a specific
+        replica set rather than spread hash-uniformly.
+        """
+        workload = make_soundcloud_workload(
             n_tasks=self.n_tasks,
             n_clients=self.n_clients,
             n_servers=self.cluster.n_servers,
@@ -141,6 +163,19 @@ class ExperimentConfig:
             value_sizes=parse_value_size_model(self.value_size_model),
             noise=self.service_noise,
         )
+        if self.hot_shard is not None:
+            from ..placement import keys_in_partitions
+
+            hot_keys = keys_in_partitions(
+                self.cluster.make_placement(), self.n_keys, (self.hot_shard,)
+            )
+            workload = dataclasses.replace(
+                workload,
+                popularity=SubsetHotspotPopularity(
+                    workload.popularity, hot_keys, self.hot_shard_weight
+                ),
+            )
+        return workload
 
     def with_strategy(self, strategy: str) -> "ExperimentConfig":
         """Same experiment, different strategy (workload identical)."""

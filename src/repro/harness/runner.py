@@ -26,6 +26,7 @@ from ..cluster.network import Network
 from ..metrics.counters import MetricRegistry
 from ..metrics.reservoir import ExactSample
 from ..metrics.summary import DEFAULT_PERCENTILES, LatencySummary
+from ..placement import MutablePlacement
 from ..sim.engine import Environment
 from ..sim.rng import StreamFactory
 from .builders import ClusterContext, get_builder
@@ -129,7 +130,9 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
     env = Environment()
     metrics = MetricRegistry()
     workload = config.workload()
-    placement = config.cluster.make_placement()
+    # The mutable wrapper is what lets RebalanceFault windows re-home
+    # partitions mid-run; with no rebalance events it is pure delegation.
+    placement = MutablePlacement(config.cluster.make_placement())
     placement.validate()
     network = Network(
         env,
@@ -176,7 +179,9 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
         builder.build_server(ctx, server_id)
         for server_id in range(config.cluster.n_servers)
     ]
-    injector = FaultInjector(env, config.faults(), servers, network)
+    injector = FaultInjector(
+        env, config.faults(), servers, network, placement=placement
+    )
 
     generator = workload.generator(streams)
 
@@ -212,6 +217,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
     }
     extras.update(builder.collect_extras(ctx, clients, servers))
     extras.update(injector.extras())
+    if placement.swaps:
+        extras["placement_swaps"] = float(placement.swaps)
 
     return RunResult(
         config=config,

@@ -30,8 +30,10 @@ from ..cluster.faults import (
     FaultSchedule,
     FlashCrowdFault,
     NetworkJitterFault,
+    RebalanceFault,
     SlowdownFault,
     drive_fault_windows,
+    validate_rebalance_feasibility,
     windows_extras,
 )
 from ..core.clock import WallClock
@@ -41,6 +43,7 @@ from ..harness.results import compare_strategies
 from ..harness.runner import RunResult
 from ..metrics.counters import MetricRegistry
 from ..metrics.reservoir import ExactSample
+from ..placement import MutablePlacement
 from ..serve.server import DEFAULT_HOST, DEFAULT_PORT
 from ..sim.rng import StreamFactory
 from .transport import LiveTransport, LiveTransportError, handshake
@@ -88,6 +91,11 @@ class LiveFaultDriver:
                          directions on a loopback link
     FlashCrowdFault      client-side arrival compression via
                          :meth:`arrival_scale` (same as the simulation)
+    RebalanceFault       client-side ring swap on the shared
+                         :class:`~repro.placement.MutablePlacement`: the
+                         live workers serve whatever they are sent, so a
+                         decommission is purely a routing change -- which
+                         is exactly what the simulation does too
     ==================  =================================================
     """
 
@@ -97,10 +105,13 @@ class LiveFaultDriver:
         schedule: FaultSchedule,
         transport: LiveTransport,
         one_way_latency: float,
+        placement: _t.Optional["MutablePlacement"] = None,
     ) -> None:
+        validate_rebalance_feasibility(schedule, placement)
         self.clock = clock
         self.schedule = schedule
         self.transport = transport
+        self.placement = placement
         self.one_way_latency = float(one_way_latency)
         self.windows: _t.Dict[str, int] = {e.kind: 0 for e in schedule.events}
         self._crowd_scale = 1.0
@@ -169,6 +180,9 @@ class LiveFaultDriver:
             )
         elif isinstance(event, FlashCrowdFault):
             self._crowd_scale *= event.multiplier
+        elif isinstance(event, RebalanceFault):
+            assert self.placement is not None  # enforced at construction
+            self.placement.exclude(event.servers)
 
     def _revert(self, event: FaultEvent) -> None:
         if isinstance(event, SlowdownFault):
@@ -190,6 +204,9 @@ class LiveFaultDriver:
                 self.transport.admin({"t": "admin", "cmd": "clear-jitter"})
         elif isinstance(event, FlashCrowdFault):
             self._crowd_scale /= event.multiplier
+        elif isinstance(event, RebalanceFault):
+            assert self.placement is not None  # enforced at construction
+            self.placement.readmit(event.servers)
 
     def extras(self) -> _t.Dict[str, float]:
         return windows_extras(self.windows)
@@ -258,7 +275,9 @@ async def run_live(
         streams = StreamFactory(seed)
         metrics = MetricRegistry()
         workload = config.workload()
-        placement = config.cluster.make_placement()
+        # Same mutable wrapper as the simulated runner, so rebalance
+        # windows swap the ring for sim and live identically.
+        placement = MutablePlacement(config.cluster.make_placement())
         placement.validate()
         ctx = ClusterContext(
             config=config,
@@ -288,7 +307,11 @@ async def run_live(
                 )
             )
         faults = LiveFaultDriver(
-            clock, config.faults(), transport, config.cluster.one_way_latency
+            clock,
+            config.faults(),
+            transport,
+            config.cluster.one_way_latency,
+            placement=placement,
         )
         generator = workload.generator(streams)
         expected_model_s = config.n_tasks / workload.task_rate
@@ -395,6 +418,8 @@ async def run_live(
         }
         extras.update(builder.collect_extras(ctx, clients, ()))
         extras.update(faults.extras())
+        if placement.swaps:
+            extras["placement_swaps"] = float(placement.swaps)
 
         return RunResult(
             config=config,

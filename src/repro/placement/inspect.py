@@ -1,0 +1,159 @@
+"""Placement inspection: ownership, balance, and human-readable reports.
+
+Backing for the ``repro ring`` CLI command (see ``docs/cli.md``): given
+any :class:`~repro.placement.ring.Placement`, compute who owns what --
+per-server partition membership, primary counts, and the fraction of a
+sampled keyspace each server is eligible to serve -- plus summary balance
+statistics (a perfectly balanced ring has every server holding
+``R * K / N`` of the keyspace's replicas).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from .ring import Placement
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerOwnership:
+    """One server's share of the ring."""
+
+    server_id: int
+    #: Replica groups this server belongs to.
+    partitions: int
+    #: Partitions where this server is the primary (first replica).
+    primary_partitions: int
+    #: Sampled keys whose replica set contains this server.
+    replica_keys: int
+    #: Sampled keys whose primary is this server.
+    primary_keys: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RingReport:
+    """Ownership of every server plus ring-wide balance statistics."""
+
+    placement_repr: str
+    n_keys: int
+    servers: _t.Tuple[ServerOwnership, ...]
+
+    @property
+    def replica_share_cv(self) -> float:
+        """Coefficient of variation of per-server replica key share.
+
+        0 means a perfectly balanced ring; production vnode rings sit in
+        the 0.05-0.3 range depending on the vnode count.
+        """
+        shares = [s.replica_keys for s in self.servers]
+        mean = sum(shares) / len(shares)
+        if mean == 0:
+            return 0.0
+        variance = sum((x - mean) ** 2 for x in shares) / len(shares)
+        return math.sqrt(variance) / mean
+
+    @property
+    def max_over_mean(self) -> float:
+        """Hottest server's replica share relative to the mean share."""
+        shares = [s.replica_keys for s in self.servers]
+        mean = sum(shares) / len(shares)
+        return max(shares) / mean if mean else 0.0
+
+    def to_rows(self) -> _t.List[_t.Dict[str, _t.Any]]:
+        """Table rows for :func:`repro.analysis.tables.render_table`."""
+        return [
+            {
+                "server": s.server_id,
+                "partitions": s.partitions,
+                "primary": s.primary_partitions,
+                "key share %": 100.0 * s.replica_keys / self.n_keys,
+                "primary share %": 100.0 * s.primary_keys / self.n_keys,
+            }
+            for s in self.servers
+        ]
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """JSON-friendly form for ``repro ring --json``."""
+        return {
+            "placement": self.placement_repr,
+            "n_keys": self.n_keys,
+            "replica_share_cv": self.replica_share_cv,
+            "max_over_mean": self.max_over_mean,
+            "servers": [dataclasses.asdict(s) for s in self.servers],
+        }
+
+    def ownership_bars(self, width: int = 40) -> _t.List[str]:
+        """ASCII ownership bars, one line per server (CLI eye candy)."""
+        peak = max((s.replica_keys for s in self.servers), default=0)
+        lines = []
+        for s in self.servers:
+            filled = int(round(width * s.replica_keys / peak)) if peak else 0
+            share = 100.0 * s.replica_keys / self.n_keys if self.n_keys else 0.0
+            lines.append(
+                f"  s{s.server_id:<3d} {'#' * filled:<{width}s} {share:5.1f}%"
+            )
+        return lines
+
+
+def ring_report(placement: Placement, n_keys: int = 10_000) -> RingReport:
+    """Compute the ownership report over the keyspace ``[0, n_keys)``.
+
+    Key shares are exact over the sampled range (every key is hashed), so
+    two runs of the same placement produce identical reports.
+    """
+    if n_keys <= 0:
+        raise ValueError("n_keys must be positive")
+    partitions: _t.Dict[int, int] = {s: 0 for s in range(placement.n_servers)}
+    primaries: _t.Dict[int, int] = {s: 0 for s in range(placement.n_servers)}
+    for p in range(placement.n_partitions):
+        group = placement.replicas_of(p)
+        primaries[group[0]] += 1
+        for s in group:
+            partitions[s] += 1
+    # Weight partitions by how many sampled keys they own.
+    keys_per_partition: _t.Dict[int, int] = {}
+    for key in range(n_keys):
+        p = placement.partition_of(key)
+        keys_per_partition[p] = keys_per_partition.get(p, 0) + 1
+    replica_keys: _t.Dict[int, int] = {s: 0 for s in range(placement.n_servers)}
+    primary_keys: _t.Dict[int, int] = {s: 0 for s in range(placement.n_servers)}
+    for p, count in keys_per_partition.items():
+        group = placement.replicas_of(p)
+        primary_keys[group[0]] += count
+        for s in group:
+            replica_keys[s] += count
+    return RingReport(
+        placement_repr=repr(placement),
+        n_keys=n_keys,
+        servers=tuple(
+            ServerOwnership(
+                server_id=s,
+                partitions=partitions[s],
+                primary_partitions=primaries[s],
+                replica_keys=replica_keys[s],
+                primary_keys=primary_keys[s],
+            )
+            for s in range(placement.n_servers)
+        ),
+    )
+
+
+def keys_in_partitions(
+    placement: Placement, n_keys: int, partitions: _t.Collection[int]
+) -> _t.List[int]:
+    """Keys in ``[0, n_keys)`` owned by any of the given partitions.
+
+    Used by the hot-shard workload to concentrate popularity on the keys
+    one replica group serves, and by ``repro ring --key`` lookups.
+    """
+    if n_keys <= 0:
+        raise ValueError("n_keys must be positive")
+    wanted = set(partitions)
+    for p in wanted:
+        if not (0 <= p < placement.n_partitions):
+            raise ValueError(
+                f"partition {p} out of range 0..{placement.n_partitions - 1}"
+            )
+    return [k for k in range(n_keys) if placement.partition_of(k) in wanted]

@@ -1,12 +1,13 @@
 """The built-in scenario library.
 
-Eight named workload scenarios covering the paper's evaluation plus the
-fault shapes tail-latency systems are judged on.  Fault onsets are virtual
-seconds; at the scaled default task counts (5k-12k tasks, ~10k tasks/s at
-70% load) a run lasts roughly 0.5-1.2 s, so every recurring fault below
-fires at least once.  Scale-down smoke runs (a few hundred tasks) may end
-before a window opens; the schedule still validates and reports zero
-windows.
+Twelve named workload scenarios covering the paper's evaluation, the
+fault shapes tail-latency systems are judged on, and the placement
+pathologies sharded stores hit at scale (see ``docs/scenarios.md`` for
+the full catalog).  Fault onsets are virtual seconds; at the scaled
+default task counts (5k-12k tasks, ~10k tasks/s at 70% load) a run lasts
+roughly 0.5-1.2 s, so every recurring fault below fires at least once.
+Scale-down smoke runs (a few hundred tasks) may end before a window
+opens; the schedule still validates and reports zero windows.
 """
 
 from __future__ import annotations
@@ -16,12 +17,19 @@ from ..cluster.faults import (
     FaultSchedule,
     FlashCrowdFault,
     NetworkJitterFault,
+    RebalanceFault,
     SlowdownFault,
 )
+from ..cluster.topology import ClusterSpec
 from .registry import register_scenario
 from .spec import make_scenario
 
 INFINITE = float("inf")
+
+#: The paper's default ring (9 servers, RF 3, one partition per server);
+#: placement-driven scenarios derive their targets from it so the fault
+#: script and the routing layer can never disagree about who holds what.
+_PAPER_RING = ClusterSpec().make_placement()
 
 
 #: The paper's Section 2.2 evaluation setup, fault-free.
@@ -127,6 +135,68 @@ NETWORK_JITTER = register_scenario(
                 ),
             )
         ),
+    )
+)
+
+#: One replica group absorbs most of the traffic: the placement-aware
+#: hotspot (contrast with hotspot-skew, whose heat spreads hash-uniformly).
+HOT_SHARD = register_scenario(
+    make_scenario(
+        "hot-shard",
+        "40% of key draws hit partition 0's replica group (3 of 9 servers)",
+        overrides={
+            "hot_shard": 0,
+            "hot_shard_weight": 0.4,
+            "n_keys": 20_000,
+            "load": 0.6,
+        },
+    )
+)
+
+#: Exactly the servers holding the hot partition lag (compaction on one
+#: replica group): per-key eligible sets decide who can dodge the lag.
+REPLICA_LAG = register_scenario(
+    make_scenario(
+        "replica-lag",
+        "partition 0's whole replica group recurringly 2.5x slower",
+        faults=FaultSchedule(
+            (
+                SlowdownFault(
+                    servers=_PAPER_RING.replicas_of(0),
+                    factor=2.5,
+                    start=0.05,
+                    duration=0.12,
+                    period=0.3,
+                ),
+            )
+        ),
+    )
+)
+
+#: A mid-run ring change: one server is decommissioned and later rejoins;
+#: routing follows the surviving replicas window-for-window.
+RING_REBALANCE = register_scenario(
+    make_scenario(
+        "ring-rebalance",
+        "server 2 leaves the placement ring mid-run and rejoins (recurring)",
+        faults=FaultSchedule(
+            (
+                RebalanceFault(
+                    servers=(2,), start=0.08, duration=0.15, period=0.4
+                ),
+            )
+        ),
+    )
+)
+
+#: Popularity mass concentrated in few shards: a coarse vnode ring under
+#: heavy Zipf skew, so hot keys share partitions instead of spreading.
+SHARD_SKEW = register_scenario(
+    make_scenario(
+        "shard-skew",
+        "Zipf(1.3) popularity over a coarse 12-partition vnode ring",
+        overrides={"zipf_skew": 1.3, "n_keys": 20_000},
+        cluster={"placement_kind": "chash", "n_partitions": 12},
     )
 )
 

@@ -27,6 +27,7 @@ from .fanout import (
 from .popularity import (
     HotColdPopularity,
     PopularityModel,
+    SubsetHotspotPopularity,
     UniformPopularity,
     ZipfPopularity,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "PopularityModel",
     "ServiceTimeModel",
     "SoundCloudWorkload",
+    "SubsetHotspotPopularity",
     "Task",
     "TaskGenerator",
     "TraceFormatError",

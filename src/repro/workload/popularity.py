@@ -88,6 +88,49 @@ class ZipfPopularity(PopularityModel):
         return f"ZipfPopularity(n_keys={self.n_keys}, skew={self.skew})"
 
 
+class SubsetHotspotPopularity(PopularityModel):
+    """Concentrate ``weight`` of the traffic on an explicit key subset.
+
+    The placement-aware skew behind the ``hot-shard`` scenario: the hot
+    subset is chosen as the keys one replica group owns (see
+    :func:`repro.placement.keys_in_partitions`), so the heat lands on a
+    *specific* replica set instead of spreading hash-uniformly the way
+    :class:`ZipfPopularity`'s permutation deliberately does.  Draws
+    outside the hot branch fall through to the base model (and may also
+    hit hot keys; the subset's effective weight is therefore a floor).
+    """
+
+    def __init__(
+        self,
+        base: PopularityModel,
+        hot_keys: _t.Sequence[int],
+        weight: float = 0.5,
+    ) -> None:
+        if not hot_keys:
+            raise ValueError("hot subset is empty")
+        if not (0.0 < weight < 1.0):
+            raise ValueError("weight must be in (0, 1)")
+        for key in hot_keys:
+            if not (0 <= key < base.n_keys):
+                raise ValueError(f"hot key {key} outside base keyspace")
+        self.base = base
+        self.n_keys = base.n_keys
+        self.hot_keys = list(hot_keys)
+        self.weight = float(weight)
+
+    def sample_key(self, stream: Stream) -> int:
+        """Hot subset with probability ``weight``, else the base model."""
+        if stream.random() < self.weight:
+            return self.hot_keys[stream.randrange(len(self.hot_keys))]
+        return self.base.sample_key(stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubsetHotspotPopularity(base={self.base!r}, "
+            f"n_hot={len(self.hot_keys)}, weight={self.weight})"
+        )
+
+
 class HotColdPopularity(PopularityModel):
     """``hot_fraction`` of keys receive ``hot_weight`` of the traffic.
 

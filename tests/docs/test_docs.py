@@ -1,0 +1,129 @@
+"""Documentation lint: docstrings, link integrity, CLI-reference sync.
+
+Three guarantees, run in CI's ``docs`` job:
+
+* every module, public class and public function in
+  ``src/repro/placement/`` carries a docstring (the layer the docs book
+  leans on hardest);
+* every relative link in ``docs/*.md`` (and the README) resolves to a
+  real file, and every ``repro <command>`` mentioned in the docs is a
+  real subcommand of the live parser;
+* ``docs/cli.md`` matches what ``repro docs-cli`` renders from the
+  argparse tree -- the CLI reference cannot drift.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, render_cli_docs
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+PLACEMENT = REPO / "src" / "repro" / "placement"
+
+DOC_FILES = sorted(DOCS.glob("*.md"))
+LINKED_FILES = DOC_FILES + [REPO / "README.md", REPO / "PAPER.md"]
+
+
+def _public_defs(tree):
+    """(name, node) for every public class/function, methods included."""
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and not node.name.startswith("_"):
+            yield node
+
+
+class TestPlacementDocstrings:
+    @pytest.mark.parametrize(
+        "path", sorted(PLACEMENT.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_module_and_public_defs_documented(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name}: missing module docstring"
+        missing = [
+            f"{path.name}:{node.lineno} {node.name}"
+            for node in _public_defs(tree)
+            if not ast.get_docstring(node)
+        ]
+        assert not missing, "missing docstrings:\n  " + "\n  ".join(missing)
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+
+
+class TestDocLinks:
+    def test_docs_book_exists(self):
+        names = {p.name for p in DOC_FILES}
+        assert {"architecture.md", "scenarios.md", "results.md", "cli.md"} <= names
+
+    @pytest.mark.parametrize(
+        "path", LINKED_FILES, ids=lambda p: p.relative_to(REPO).as_posix()
+    )
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for target in LINK.findall(path.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name}: broken links {broken}"
+
+    def test_referenced_cli_commands_exist(self):
+        """Every `repro <cmd>` in backticked doc text is a real command."""
+        parser = build_parser()
+        known = set()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                known |= set(action.choices)
+        mention = re.compile(r"`(?:python -m )?repro ([a-z][a-z0-9-]*)")
+        unknown = []
+        for path in LINKED_FILES:
+            for cmd in mention.findall(path.read_text(encoding="utf-8")):
+                if cmd not in known:
+                    unknown.append(f"{path.name}: repro {cmd}")
+        assert not unknown, "docs mention unknown commands:\n  " + "\n  ".join(
+            unknown
+        )
+
+    def test_referenced_source_paths_exist(self):
+        """Every `src/...` path mentioned in the docs book exists."""
+        path_ref = re.compile(r"`(src/[\w/.-]+)`")
+        missing = []
+        for path in DOC_FILES:
+            for ref in path_ref.findall(path.read_text(encoding="utf-8")):
+                if not (REPO / ref).exists():
+                    missing.append(f"{path.name}: {ref}")
+        assert not missing, "docs reference missing paths:\n  " + "\n  ".join(
+            missing
+        )
+
+
+class TestScenarioCatalog:
+    def test_every_registered_scenario_cataloged(self):
+        from repro.scenarios import scenario_names
+
+        text = (DOCS / "scenarios.md").read_text(encoding="utf-8")
+        missing = [n for n in scenario_names() if f"`{n}`" not in text]
+        assert not missing, f"scenarios missing from docs/scenarios.md: {missing}"
+
+
+class TestCliReference:
+    def test_cli_md_is_in_sync(self):
+        committed = (DOCS / "cli.md").read_text(encoding="utf-8")
+        assert committed == render_cli_docs(), (
+            "docs/cli.md is stale; regenerate with "
+            "`repro docs-cli --out docs/cli.md`"
+        )
+
+    def test_every_subcommand_documented(self):
+        text = (DOCS / "cli.md").read_text(encoding="utf-8")
+        parser = build_parser()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                for name in action.choices:
+                    assert f"## `repro {name}`" in text, f"{name} undocumented"
