@@ -1,0 +1,111 @@
+"""CI perf-smoke gate: fail on a >20% kernel-throughput regression.
+
+Usage::
+
+    python benchmarks/check_event_throughput.py \
+        [results/event_throughput.json] [results/event_throughput_baseline.json]
+
+Compares the *normalized* events/sec (events per calibration spin -- see
+``benchmarks/test_bench_event_throughput.py``) of the fresh measurement
+against the committed baseline's ``current`` block, section by section.
+Normalization cancels machine speed, so the gate is meaningful on CI
+runners that are slower or faster than the machine that recorded the
+baseline.  Exit code 1 when any section drops below 80% of the baseline.
+
+To re-record the baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_event_throughput.py -q
+    python benchmarks/check_event_throughput.py --update-baseline
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+TOLERANCE = 0.8  # fail below 80% of baseline (a >20% regression)
+
+
+def _normalized(data, section):
+    if section in ("micro", "micro_callback"):
+        entry = data.get(section)
+    else:
+        entry = data.get("strategies", {}).get(section)
+    return None if entry is None else entry.get("normalized")
+
+
+def _sections(data):
+    sections = [s for s in ("micro", "micro_callback") if s in data]
+    return sections + sorted(data.get("strategies", {}))
+
+
+def update_baseline(measured_path, baseline_path):
+    measured = json.loads(Path(measured_path).read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = {
+        "calibration_spins_per_sec": measured["calibration_spins_per_sec"],
+        "micro": measured["micro"],
+        "micro_callback": measured["micro_callback"],
+        "strategies": measured["strategies"],
+    }
+    baseline["current"] = current
+    Path(baseline_path).write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline 'current' block updated from {measured_path}")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    measured_path = args[0] if args else RESULTS / "event_throughput.json"
+    baseline_path = (
+        args[1] if len(args) > 1 else RESULTS / "event_throughput_baseline.json"
+    )
+    if "--update-baseline" in argv:
+        return update_baseline(measured_path, baseline_path)
+
+    measured = json.loads(Path(measured_path).read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = baseline.get("current")
+    if current is None:
+        print("baseline has no 'current' block; run with --update-baseline first")
+        return 1
+
+    failed = False
+    for section in _sections(current):
+        want = _normalized(current, section)
+        got = _normalized(measured, section)
+        if got is None:
+            # A section the baseline gates vanished from the bench: that
+            # is a config drift, not a perf result -- fail loudly with a
+            # pointer instead of a KeyError stack trace.
+            print(
+                f"{section:20s} missing from the fresh measurement; "
+                "re-record with --update-baseline if the bench's section "
+                "list changed intentionally"
+            )
+            failed = True
+            continue
+        ratio = got / want if want else float("inf")
+        status = "ok" if ratio >= TOLERANCE else "REGRESSED"
+        print(
+            f"{section:20s} normalized {got:.4f} vs baseline {want:.4f} "
+            f"({ratio:.2f}x)  {status}"
+        )
+        if ratio < TOLERANCE:
+            failed = True
+    ungated = [s for s in _sections(measured) if _normalized(current, s) is None]
+    if ungated:
+        print(
+            f"note: sections {ungated} are measured but not in the "
+            "baseline; run --update-baseline to start gating them"
+        )
+    if failed:
+        print(f"FAIL: kernel throughput regressed more than "
+              f"{(1 - TOLERANCE) * 100:.0f}% against the committed baseline")
+        return 1
+    print("perf-smoke: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

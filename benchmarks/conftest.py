@@ -66,6 +66,27 @@ def bench_run_grid(configs, seeds):
     )
 
 
+def pingpong_events(n_processes=100, horizon=100.0):
+    """A bank of timer processes: the canonical kernel micro-workload.
+
+    Shared by ``test_bench_micro.py`` and
+    ``test_bench_event_throughput.py`` so the committed throughput
+    baseline and the perf gate always measure the *same* workload.
+    """
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def ticker(env, period):
+        while True:
+            yield env.timeout(period)
+
+    for i in range(n_processes):
+        env.process(ticker(env, 0.5 + 0.01 * i))
+    env.run(until=horizon)
+    return env.events_processed
+
+
 def save_report(name: str, text: str, data=None) -> None:
     """Persist a rendered report (and optional JSON) under results/."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -5,24 +5,10 @@ they bound the cost of scaling the Figure 2 runs to the paper's 500k
 tasks, and catch kernel performance regressions.
 """
 
-from conftest import save_report
+from conftest import pingpong_events, save_report
 
 from repro.metrics import LogHistogram
 from repro.sim import Environment, PriorityItem, PriorityStore, Stream
-
-
-def pingpong_events(n_processes=100, horizon=100.0):
-    """A bank of timers: classic event-loop stress test."""
-    env = Environment()
-
-    def ticker(env, period):
-        while True:
-            yield env.timeout(period)
-
-    for i in range(n_processes):
-        env.process(ticker(env, 0.5 + 0.01 * i))
-    env.run(until=horizon)
-    return env.events_processed
 
 
 def store_churn(n_items=50_000):
@@ -60,10 +46,23 @@ def histogram_ingest(n=200_000):
 def test_event_throughput(benchmark):
     events = benchmark(pingpong_events)
     assert events > 10_000
-    rate = events / benchmark.stats.stats.mean
+    stats = benchmark.stats.stats
+    rate = events / stats.mean
     report = f"kernel event throughput: {rate:,.0f} events/s ({events} events)"
     print("\n" + report)
-    save_report("micro_event_throughput", report)
+    # JSON artifact alongside the .txt so the bench-trajectory tooling can
+    # read this series like every other benchmark's.
+    save_report(
+        "micro_event_throughput",
+        report,
+        data={
+            "events": events,
+            "events_per_sec": rate,
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "rounds": stats.rounds,
+        },
+    )
 
 
 def test_priority_store_churn(benchmark):

@@ -1,0 +1,30 @@
+"""Small version-compatibility helpers.
+
+The package supports Python 3.9+ (see ``pyproject.toml``), but some
+performance features only exist on newer interpreters.  Everything here
+degrades gracefully: behaviour is identical across versions, only the
+memory/speed profile differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import typing as _t
+
+if sys.version_info >= (3, 10):
+
+    def slots_dataclass(**kwargs: _t.Any) -> _t.Callable[[type], type]:
+        """``@dataclasses.dataclass(slots=True, ...)`` where supported.
+
+        ``__slots__``-based instances skip the per-object ``__dict__``,
+        which matters for the message and operation types allocated once
+        per simulated request.  On 3.9 the decorator silently drops the
+        slots (plain dataclass), trading memory for compatibility.
+        """
+        return dataclasses.dataclass(slots=True, **kwargs)
+
+else:  # pragma: no cover - exercised only on 3.9
+
+    def slots_dataclass(**kwargs: _t.Any) -> _t.Callable[[type], type]:
+        return dataclasses.dataclass(**kwargs)

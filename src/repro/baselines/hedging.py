@@ -20,6 +20,7 @@ from ..cluster.client import DispatchStrategy
 from ..cluster.messages import RequestMessage, ResponseMessage
 from ..cluster.partitioner import Placement
 from ..cluster.addresses import client_address, server_address
+from ..core.cost import CostModel
 from ..metrics.histogram import LogHistogram
 from ..metrics.timeseries import WindowedRate
 from ..workload.calibration import ServiceTimeModel
@@ -75,6 +76,8 @@ class HedgedStrategy(DispatchStrategy):
         self.placement = placement
         self.selector = selector
         self.service_model = service_model
+        # Memoized forecasts, shared logic with the BRB/oblivious paths.
+        self.cost_model = CostModel(service_model)
         self.hedge_delay = float(hedge_delay)
         self.max_hedges = int(max_hedges)
         self.name = f"hedged+{selector.name}"
@@ -114,7 +117,7 @@ class HedgedStrategy(DispatchStrategy):
                 task_id=task.task_id,
                 client_id=self.client.client_id,
                 partition=partition,
-                expected_service=self.service_model.expected_time(op.value_size),
+                expected_service=self.cost_model.op_cost(op),
             )
             replicas = self.placement.replicas_of(partition)
             request.server_id = self.selector.choose(replicas, request)

@@ -14,6 +14,7 @@ from ..cluster.client import DispatchStrategy
 from ..cluster.messages import RequestMessage, ResponseMessage
 from ..cluster.partitioner import Placement
 from ..cluster.addresses import client_address, server_address
+from ..core.cost import CostModel
 from ..workload.calibration import ServiceTimeModel
 from ..workload.tasks import Task
 from .c3 import C3Selector
@@ -32,6 +33,9 @@ class ObliviousStrategy(DispatchStrategy):
         self.placement = placement
         self.selector = selector
         self.service_model = service_model
+        # Memoized forecasts (same cache the BRB strategies use): one key
+        # maps to one fixed size, so per-request recomputation is waste.
+        self.cost_model = CostModel(service_model)
         self.name = f"oblivious+{selector.name}"
         #: Requests waiting for a send slot, per server (C3 pacing only).
         self._paced_backlog: _t.Dict[int, _t.List[RequestMessage]] = {}
@@ -47,7 +51,7 @@ class ObliviousStrategy(DispatchStrategy):
                 task_id=task.task_id,
                 client_id=self.client.client_id,
                 partition=partition,
-                expected_service=self.service_model.expected_time(op.value_size),
+                expected_service=self.cost_model.op_cost(op),
             )
             replicas = self.placement.replicas_of(partition)
             request.server_id = self.selector.choose(replicas, request)

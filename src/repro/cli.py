@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        run one experiment (optionally a named scenario)
+``profile``    cProfile one run and print the top-N hotspot table
 ``sweep``      run a (value x strategy x seed) grid, optionally in parallel
 ``figure1``    the paper's toy example (deterministic)
 ``figure2``    the headline evaluation across strategies and seeds
@@ -121,6 +122,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rows.append({"metric": "events_processed", "value": result.events_processed})
     rows.append({"metric": "sim_duration_s", "value": result.sim_duration})
     print(render_table(rows))
+    return 0
+
+
+def _add_profile(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "profile",
+        help="cProfile one simulation run and print the hotspot table",
+        description="Run one (scenario, strategy, seed) simulation under "
+                    "cProfile and print the top-N hotspots plus kernel "
+                    "throughput (events/sec, tasks/sec). The profiling "
+                    "workflow lives in docs/performance.md.",
+    )
+    p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
+    p.add_argument("--scenario", default=None, choices=scenario_names(),
+                   help="profile a named scenario (workload + fault schedule)")
+    p.add_argument("--tasks", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--top", type=int, default=25, metavar="N",
+                   help="rows in the hotspot table")
+    p.add_argument("--sort", default="tottime",
+                   choices=("tottime", "cumtime", "ncalls"),
+                   help="hotspot ranking column")
+    p.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="also dump raw cProfile stats here (snakeviz/pstats "
+                        "compatible)")
+    p.set_defaults(func=_cmd_profile)
+
+
+def _profile_rows(
+    stats: _t.Any, sort: str, top: int
+) -> _t.List[_t.Dict[str, _t.Any]]:
+    """Top-``top`` hotspot rows from a ``pstats.Stats``-compatible table."""
+    import os
+
+    column = {"ncalls": 3, "tottime": 4, "cumtime": 5}[sort]
+    entries = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        entries.append((filename, lineno, name, nc, tt, ct))
+    entries.sort(key=lambda e: e[column], reverse=True)
+    rows = []
+    for filename, lineno, name, nc, tt, ct in entries[:top]:
+        if filename.startswith("~"):
+            where = name  # builtins render as e.g. ~:0(<built-in ...>)
+        else:
+            short = filename
+            for marker in (f"src{os.sep}", f"lib{os.sep}python"):
+                idx = short.find(marker)
+                if idx != -1:
+                    short = short[idx:]
+                    break
+            where = f"{short}:{lineno}({name})"
+        rows.append(
+            {
+                "ncalls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+                "function": where,
+            }
+        )
+    return rows
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    import time
+
+    from .harness.runner import run_experiment
+
+    if args.scenario is not None:
+        config = get_scenario(args.scenario).build_config(
+            strategy=args.strategy, n_tasks=args.tasks
+        )
+    else:
+        config = ExperimentConfig(strategy=args.strategy, n_tasks=args.tasks)
+    print(f"profiling {config.describe()} (seed {args.seed})")
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_experiment(config, seed=args.seed)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    print(
+        f"{result.events_processed} events in {elapsed:.2f}s under the "
+        f"profiler: {result.events_processed / elapsed:,.0f} events/s, "
+        f"{config.n_tasks / elapsed:,.0f} tasks/s (expect ~2-4x faster "
+        f"unprofiled; see docs/performance.md)"
+    )
+    stats = pstats.Stats(profiler)
+    rows = _profile_rows(stats, args.sort, args.top)
+    print(render_table(rows, title=f"top {len(rows)} by {args.sort}"))
+    if args.out:
+        profiler.dump_stats(args.out)
+        print(f"raw profile -> {args.out} (inspect with python -m pstats)")
     return 0
 
 
@@ -770,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run(subparsers)
+    _add_profile(subparsers)
     _add_sweep(subparsers)
     _add_figure1(subparsers)
     _add_figure2(subparsers)

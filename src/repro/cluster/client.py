@@ -95,6 +95,12 @@ class Client:
         self.tasks_submitted = 0
         self.completions: _t.List[TaskCompletion] = []
         self.keep_completions = False
+        # Metric handles resolved once; the registry memoizes by name, but
+        # the f-string + dict lookup per task was measurable on the hot path.
+        self._tasks_counter = self.metrics.counter(f"client.{self.client_id}.tasks")
+        self._completed_counter = self.metrics.counter(
+            f"client.{self.client_id}.completed"
+        )
         network.register(client_address(self.client_id), self.handle_message)
         strategy.bind(self)
 
@@ -113,7 +119,7 @@ class Client:
             request.created_at = self.env.now
         self._pending[task.task_id] = (task, len(requests))
         self.tasks_submitted += 1
-        self.metrics.counter(f"client.{self.client_id}.tasks").increment()
+        self._tasks_counter.increment()
         self.strategy.dispatch(requests)
 
     # -- responses ---------------------------------------------------------------
@@ -164,7 +170,7 @@ class Client:
             self.on_complete(completion)
         if self.keep_completions:
             self.completions.append(completion)
-        self.metrics.counter(f"client.{self.client_id}.completed").increment()
+        self._completed_counter.increment()
 
     @property
     def pending_tasks(self) -> int:

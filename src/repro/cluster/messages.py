@@ -5,17 +5,23 @@ BRB priority (assigned client-side), the client's service-time forecast and
 a timestamp trail that the metrics layer and the tests use to audit the
 request life-cycle (created -> dispatched -> enqueued -> service start ->
 completed).
+
+All message types are ``__slots__``-based dataclasses (on Python >= 3.10;
+see :mod:`repro._compat`): one :class:`RequestMessage` is allocated per
+simulated request, and dropping the per-instance ``__dict__`` both shrinks
+the hot working set and speeds up the timestamp-field writes on the
+service path.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import typing as _t
 
+from .._compat import slots_dataclass
 from ..workload.tasks import Operation, Task
 
 
-@dataclasses.dataclass
+@slots_dataclass()
 class RequestMessage:
     """One key read in flight.
 
@@ -72,7 +78,7 @@ class RequestMessage:
         return self.completed_at - self.created_at
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class ServerFeedback:
     """Server state piggybacked on every response (C3-style feedback)."""
 
@@ -85,7 +91,7 @@ class ServerFeedback:
     ewma_service_time: float
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class ResponseMessage:
     """Completion notice flowing server -> client."""
 
@@ -93,7 +99,7 @@ class ResponseMessage:
     feedback: ServerFeedback
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class DemandReport:
     """Client -> controller: demand per server since the last report."""
 
@@ -103,7 +109,7 @@ class DemandReport:
     demand: _t.Mapping[int, float]
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class CreditGrant:
     """Controller -> client: credits per server for the next epoch."""
 
@@ -113,7 +119,7 @@ class CreditGrant:
     credits: _t.Mapping[int, float]
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class CongestionSignal:
     """Server -> controller: demand exceeded capacity this epoch."""
 
@@ -123,7 +129,7 @@ class CongestionSignal:
     overload_ratio: float
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class TaskCompletion:
     """Internal record emitted when the last response of a task arrives."""
 

@@ -96,6 +96,17 @@ class _ServerBase:
         self._ewma_service = EwmaEstimator(ewma_time_constant, initial=0.0)
         #: Arrival-rate tracker for congestion detection (credits strategy).
         self.arrival_rate = WindowedRate(window=0.1)
+        # Per-request metric handles, resolved once instead of via an
+        # f-string + registry lookup on every enqueue/completion.
+        self._completed_counter = self.metrics.counter(
+            f"server.{self.server_id}.completed"
+        )
+        self._enqueued_counter = self.metrics.counter(
+            f"server.{self.server_id}.enqueued"
+        )
+        self._depth_gauge = self.metrics.gauge(
+            f"server.{self.server_id}.queue_depth"
+        )
 
     # -- to be provided by subclasses ---------------------------------------
     def queue_length(self) -> int:  # pragma: no cover - abstract
@@ -153,7 +164,7 @@ class _ServerBase:
         self.completed += 1
         self.busy_time += duration
         self._ewma_service.update(self.env.now, duration)
-        self.metrics.counter(f"server.{self.server_id}.completed").increment()
+        self._completed_counter.increment()
         response = ResponseMessage(request=request, feedback=self.feedback())
         self.network.send(
             server_address(self.server_id),
@@ -225,13 +236,13 @@ class BackendServer(_ServerBase):
     def handle_message(self, message: _t.Any) -> None:
         if not isinstance(message, RequestMessage):
             raise TypeError(f"server got unexpected message {message!r}")
-        message.enqueued_at = self.env.now
-        self.arrival_rate.record(self.env.now)
-        self.metrics.counter(f"server.{self.server_id}.enqueued").increment()
-        key = self.discipline.key(message, self.env.now)
+        now = self.env.now
+        message.enqueued_at = now
+        self.arrival_rate.record(now)
+        self._enqueued_counter.increment()
+        key = self.discipline.key(message, now)
         self._store.put(PriorityItem(key, message))
-        depth = self.metrics.gauge(f"server.{self.server_id}.queue_depth")
-        depth.set(len(self._store))
+        self._depth_gauge.set(len(self._store))
 
     def queue_length(self) -> int:
         return len(self._store)

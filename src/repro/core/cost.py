@@ -9,14 +9,14 @@ not the stochastic noise a specific execution will see.
 
 from __future__ import annotations
 
-import dataclasses
 import typing as _t
 
+from .._compat import slots_dataclass
 from ..workload.calibration import ServiceTimeModel
 from ..workload.tasks import Operation, Task
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class SubTask:
     """All operations of one task destined for one replica group."""
 
@@ -41,14 +41,30 @@ class SubTask:
 
 
 class CostModel:
-    """Forecasts service times from value sizes."""
+    """Forecasts service times from value sizes.
+
+    Forecasts are memoized per exact value size: the registry maps each
+    key to one fixed size, and the service model's deterministic part is a
+    pure function of that size, so UnifIncr/EqualMax priority assignment
+    was recomputing the identical forecast for every re-read of a key.
+    The memo key is the exact size (the degenerate "bucket" -- any
+    coarser bucketing would change forecasts and break the byte-identical
+    determinism guarantee), and the forecast is server-independent
+    because the calibrated cost curve is cluster-wide.
+    """
 
     def __init__(self, service_model: ServiceTimeModel) -> None:
         self.service_model = service_model
+        self._forecast_cache: _t.Dict[int, float] = {}
 
     def op_cost(self, op: Operation) -> float:
-        """Forecast service time of a single operation."""
-        return self.service_model.expected_time(op.value_size)
+        """Forecast service time of a single operation (memoized)."""
+        size = op.value_size
+        cost = self._forecast_cache.get(size)
+        if cost is None:
+            cost = self.service_model.expected_time(size)
+            self._forecast_cache[size] = cost
+        return cost
 
     def subtask_cost(self, ops: _t.Sequence[Operation]) -> float:
         """Forecast completion cost of ops serialized at one replica."""

@@ -43,14 +43,14 @@ class GlobalQueue:
         request.dispatched_at = self.env.now
         self.submitted += 1
         delay = self.latency.sample(self.stream)
-        event = self.env.timeout(delay, value=request)
+        # Bare-callback timer (same calendar slot as the old Timeout +
+        # closure): arrival is fire-and-forget, nothing yields on it;
+        # call_later rejects a negative delay exactly as Timeout did.
+        self.env.call_later(delay, self._arrive, request)
 
-        def _arrive(ev: _t.Any) -> None:
-            req = _t.cast(RequestMessage, ev.value)
-            req.enqueued_at = self.env.now
-            self.store.put(PriorityItem(req.priority, req))
-
-        event.callbacks.append(_arrive)
+    def _arrive(self, request: RequestMessage) -> None:
+        request.enqueued_at = self.env.now
+        self.store.put(PriorityItem(request.priority, request))
 
     def __len__(self) -> int:
         return len(self.store)

@@ -17,6 +17,7 @@ comes from the registered :class:`~repro.harness.builders.StrategyBuilder`.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing as _t
 
 from ..cluster.client import Client
@@ -69,6 +70,33 @@ class RunResult:
         return LatencySummary.from_recorder(
             self.config.strategy, self.task_latencies, percentiles
         )
+
+    def to_dict(self) -> _t.Dict[str, _t.Any]:
+        """Canonical, JSON-friendly form of one run.
+
+        This is the byte-equality contract the engine differential tests
+        compare: two engines are *equivalent* for a (config, seed) pair
+        exactly when this structure -- which folds every task latency into
+        a SHA-256 digest of the full-precision float reprs, plus the audit
+        counters and extras -- matches key for key, byte for byte.
+        """
+        latencies = self.task_latencies.values()
+        digest = hashlib.sha256(
+            "\n".join(repr(v) for v in latencies).encode("ascii")
+        ).hexdigest()
+        return {
+            "strategy": self.config.strategy,
+            "seed": self.seed,
+            "n_tasks": self.config.n_tasks,
+            "sim_duration": self.sim_duration,
+            "events_processed": self.events_processed,
+            "tasks_measured": self.tasks_measured,
+            "tasks_completed": self.tasks_completed,
+            "requests_served": self.requests_served,
+            "task_latency_count": len(latencies),
+            "task_latency_digest": digest,
+            "extras": {k: self.extras[k] for k in sorted(self.extras)},
+        }
 
 
 class _CompletionTracker:

@@ -13,6 +13,7 @@ completions, controller epochs -- is expressed in terms of these events.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .engine import Environment
@@ -126,7 +127,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): triggering is the kernel's hottest
+        # entry point (every store match and process end lands here).
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -142,7 +146,8 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -154,7 +159,8 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
 
     # -- composition -------------------------------------------------------
     def __and__(self, other: "Event") -> "Condition":
@@ -180,11 +186,18 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flattened constructor: one Timeout is allocated per yielded wait,
+        # which makes this the single most-called initializer in a run.
+        # Writing the slots directly and pushing the calendar entry inline
+        # skips the Event.__init__ and env.schedule() frames (and the
+        # redundant PENDING placeholder the base init would assign).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"

@@ -10,6 +10,7 @@ other (fork/join) and compose with :class:`~repro.sim.events.Condition`.
 from __future__ import annotations
 
 import typing as _t
+from heapq import heappush
 
 from .events import Event, Interrupt, NORMAL, PENDING, SimulationError, URGENT
 
@@ -101,31 +102,38 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the value of ``event``."""
+        """Advance the generator with the value of ``event``.
+
+        Hot path: this runs once per yielded event of every process.  The
+        generator and the calendar push are bound to locals, and the
+        common exit (subscribe to a pending event) is checked first.
+        """
         env = self.env
         env._active_proc = self
         self._target = None
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: throw the exception into the process.
                     event.defuse()
                     exc = _t.cast(BaseException, event._value)
-                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+                    next_event = generator.throw(type(exc), exc, exc.__traceback__)
             except StopIteration as exc:
-                # Generator finished: the process event succeeds.
+                # Generator finished: the process event succeeds (the push
+                # is env.schedule inlined; see Event.succeed).
                 self._ok = True
                 self._value = exc.value
-                env.schedule(self)
+                heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
                 break
             except BaseException as exc:
                 # Uncaught exception: the process event fails.
                 self._ok = False
                 self._value = exc
-                env.schedule(self)
+                heappush(env._queue, (env._now, NORMAL, next(env._eid), self))
                 break
 
             if not isinstance(next_event, Event):
@@ -141,9 +149,10 @@ class Process(Event):
                 event = _FailedNow(env, proc_error)
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
 

@@ -30,6 +30,12 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+#: Memoized rejection-inversion constants for :meth:`Stream.zipf`, keyed by
+#: ``(n, skew)``.  The constants are pure functions of the key, so sharing
+#: them across streams and runs cannot perturb any draw.
+_ZIPF_CONSTANTS: _t.Dict[_t.Tuple[int, float], _t.Tuple[float, float, float, float]] = {}
+
+
 class Stream(random.Random):
     """A named random stream (a seeded ``random.Random`` with helpers)."""
 
@@ -65,6 +71,12 @@ class Stream(random.Random):
         Implemented by inverse-CDF over precomputed weights would be costly
         per call; instead uses the rejection-inversion method of Hormann &
         Derflinger, which is O(1) per draw for skew > 0.
+
+        The method's per-``(n, skew)`` constants are memoized in
+        ``_ZIPF_CONSTANTS`` (the original closure-based formulation
+        recomputed them -- and defined two closures -- on *every* draw).
+        The arithmetic is unchanged expression for expression, so draws
+        are bit-identical to the unmemoized version.
         """
         if n <= 0:
             raise ValueError("n must be positive")
@@ -75,23 +87,28 @@ class Stream(random.Random):
         if skew == 1.0:
             skew = 1.0000001  # avoid the harmonic special case below
 
-        # Rejection-inversion sampling (Hormann & Derflinger 1996).
-        def _h(x: float) -> float:
-            return math.exp((1.0 - skew) * math.log(x)) / (1.0 - skew)
-
-        def _h_inv(x: float) -> float:
-            return math.exp(math.log((1.0 - skew) * x) / (1.0 - skew))
-
-        h_x1 = _h(1.5) - 1.0
-        h_n = _h(n + 0.5)
+        # Rejection-inversion sampling (Hormann & Derflinger 1996), with
+        # h(x) = exp((1-skew) log x) / (1-skew) expanded inline.
+        consts = _ZIPF_CONSTANTS.get((n, skew))
+        if consts is None:
+            one_minus = 1.0 - skew
+            h_x1 = math.exp(one_minus * math.log(1.5)) / one_minus - 1.0
+            h_n = math.exp(one_minus * math.log(n + 0.5)) / one_minus
+            threshold = (2.0 - math.exp(skew * math.log(2.0))) ** (-1.0)
+            consts = (one_minus, h_x1, h_n, threshold)
+            _ZIPF_CONSTANTS[(n, skew)] = consts
+        one_minus, h_x1, h_n, threshold = consts
+        draw = self.random
+        exp = math.exp
+        log = math.log
         while True:
-            u = h_n + self.random() * (h_x1 - h_n)
-            x = _h_inv(u)
+            u = h_n + draw() * (h_x1 - h_n)
+            x = exp(log(one_minus * u) / one_minus)
             k = int(x + 0.5)
             k = max(1, min(n, k))
-            if k - x <= (2.0 - math.exp(skew * math.log(2.0))) ** (
-                -1.0
-            ) or u >= _h(k + 0.5) - math.exp(-skew * math.log(k)):
+            if k - x <= threshold or u >= exp(
+                one_minus * log(k + 0.5)
+            ) / one_minus - exp(-skew * log(k)):
                 return k - 1
 
     def lognormal_mean(self, mean: float, sigma: float) -> float:

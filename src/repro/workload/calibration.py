@@ -63,7 +63,11 @@ class ServiceTimeModel:
     # -- stochastic (actual) part --------------------------------------------
     def sample_time(self, value_size: int, stream: Stream) -> float:
         """Actual service time drawn at the server."""
-        base = self.expected_time(value_size)
+        # expected_time() inlined: this runs once per served request, and
+        # the extra frame was measurable. Same expression, same float.
+        if value_size <= 0:
+            raise ValueError("value_size must be positive")
+        base = self.overhead + value_size / self.bandwidth
         if self.noise == "none":
             return base
         if self.noise == "exponential":

@@ -22,19 +22,47 @@ class PopularityModel:
     def sample_key(self, stream: Stream) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def sample_distinct(self, stream: Stream, count: int) -> _t.List[int]:
+    def sample_block(self, stream: Stream, n: int) -> _t.List[int]:
+        """Pre-draw ``n`` keys in one call.
+
+        Byte-identical to ``n`` sequential :meth:`sample_key` calls (it
+        *is* ``n`` sequential calls, with the dispatch hoisted out of the
+        caller).  The task generator buffers popularity draws through
+        this so a trace pays the model dispatch once per block.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        draw = self.sample_key
+        return [draw(stream) for _ in range(n)]
+
+    def sample_distinct(
+        self,
+        stream: Stream,
+        count: int,
+        next_key: _t.Optional[_t.Callable[[], int]] = None,
+    ) -> _t.List[int]:
         """Draw ``count`` *distinct* keys (a task never re-reads a key).
 
         Falls back to sequential fill if the keyspace is nearly exhausted,
         which keeps the method total for tiny test keyspaces.
+
+        ``next_key`` optionally overrides where draws come from -- the
+        task generator passes its block-buffered drawer so there is
+        exactly ONE copy of this algorithm (attempt limit, dense
+        fallback, set insertion order) and buffering cannot fork the
+        fixed-seed determinism.  A ``next_key`` source must produce the
+        same sequence ``self.sample_key(stream)`` would.
         """
         if count > self.n_keys:
             raise ValueError(f"cannot draw {count} distinct keys from {self.n_keys}")
+        draw = next_key if next_key is not None else (
+            lambda: self.sample_key(stream)
+        )
         seen: _t.Set[int] = set()
         attempts = 0
         limit = 20 * count + 100
         while len(seen) < count and attempts < limit:
-            seen.add(self.sample_key(stream))
+            seen.add(draw())
             attempts += 1
         if len(seen) < count:
             # Dense fallback: fill with the coldest unused keys.

@@ -8,9 +8,9 @@ where BRB's priority assignment happens.
 
 from __future__ import annotations
 
-import dataclasses
 import typing as _t
 
+from .._compat import slots_dataclass
 from ..sim.rng import Stream
 from .arrivals import ArrivalProcess
 from .fanout import FanoutDistribution
@@ -18,7 +18,7 @@ from .popularity import PopularityModel
 from .valuesize import ValueSizeDistribution
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class Operation:
     """A single key read within a task."""
 
@@ -36,7 +36,7 @@ class Operation:
             raise ValueError(f"operation {self.op_id}: value_size must be positive")
 
 
-@dataclasses.dataclass(frozen=True)
+@slots_dataclass(frozen=True)
 class Task:
     """A batched end-user request: a set of operations issued together."""
 
@@ -94,12 +94,25 @@ class ValueSizeRegistry:
         return len(self._sizes)
 
 
+#: Draws buffered per stream by the task generator.  Purely an
+#: amortization knob: block draws are byte-identical to per-call draws
+#: (each stream is dedicated to one purpose, so drawing ahead is
+#: invisible), the size only trades memory for dispatch overhead.
+ARRIVAL_BLOCK = 256
+
+
 class TaskGenerator:
     """Assembles tasks from fan-out, popularity, value-size and arrivals.
 
     Deterministic given its streams: the same (config, seed) produces the
     same trace, and strategy-internal randomness cannot perturb it (streams
     are dedicated -- see :mod:`repro.sim.rng`).
+
+    Arrival gaps, popularity draws and client ids are pre-drawn in blocks
+    of :data:`ARRIVAL_BLOCK` (see ``docs/performance.md``); because every
+    stream serves exactly one purpose, buffering ahead cannot change any
+    draw another component sees, and the blocks themselves are produced by
+    the same sequential calls the unbuffered generator made.
     """
 
     def __init__(
@@ -125,30 +138,102 @@ class TaskGenerator:
         self._next_task_id = 0
         self._next_op_id = 0
         self._clock = 0.0
+        # Per-stream block buffers (list + cursor), refilled on demand.
+        # Each buffer remembers which source object filled it; a mid-run
+        # reassignment of self.popularity / self.arrivals / self.n_clients
+        # invalidates the stale draws instead of serving up to a block of
+        # the old model's values.
+        self._gap_buffer: _t.List[float] = []
+        self._gap_pos = 0
+        self._gap_source: _t.Optional[ArrivalProcess] = None
+        self._key_buffer: _t.List[int] = []
+        self._key_pos = 0
+        self._key_source: _t.Optional[PopularityModel] = None
+        self._client_buffer: _t.List[int] = []
+        self._client_pos = 0
+        self._client_source = self.n_clients
+
+    def _draw_key_buffered(self) -> int:
+        """One popularity draw from the pre-drawn block (refilling it).
+
+        Produces exactly the sequence ``popularity.sample_key(stream)``
+        would -- the blocks are built by those same sequential calls --
+        so handing this to :meth:`PopularityModel.sample_distinct` as the
+        draw source keeps one single copy of the distinct-key algorithm.
+        """
+        pos = self._key_pos
+        buf = self._key_buffer
+        if pos >= len(buf):
+            buf = self._key_buffer = self.popularity.sample_block(
+                self._key_stream, ARRIVAL_BLOCK
+            )
+            pos = 0
+        self._key_pos = pos + 1
+        return buf[pos]
+
+    def _distinct_keys(self, count: int) -> _t.List[int]:
+        """``count`` distinct keys via the buffered draw source."""
+        popularity = self.popularity
+        if popularity is not self._key_source:
+            self._key_buffer = []
+            self._key_pos = 0
+            self._key_source = popularity
+        return popularity.sample_distinct(
+            self._key_stream, count, next_key=self._draw_key_buffered
+        )
 
     def next_task(self) -> Task:
         """Generate the next task in arrival order."""
-        self._clock += self.arrivals.next_interarrival(self._arrival_stream)
+        pos = self._gap_pos
+        if pos >= len(self._gap_buffer) or self.arrivals is not self._gap_source:
+            self._gap_source = self.arrivals
+            self._gap_buffer = self.arrivals.interarrival_block(
+                self._arrival_stream, ARRIVAL_BLOCK
+            )
+            pos = 0
+        self._gap_pos = pos + 1
+        self._clock += self._gap_buffer[pos]
+
         fanout = self.fanout.sample(self._fanout_stream)
-        fanout = min(fanout, self.popularity.n_keys)
-        keys = self.popularity.sample_distinct(self._key_stream, fanout)
+        popularity = self.popularity
+        fanout = min(fanout, popularity.n_keys)
+        # A model that *overrides* sample_distinct has its own semantics
+        # and is called without the buffered draw source -- checked per
+        # task so late reassignment of self.popularity is honored too.
+        if type(popularity).sample_distinct is PopularityModel.sample_distinct:
+            keys = self._distinct_keys(fanout)
+        else:
+            keys = popularity.sample_distinct(self._key_stream, fanout)
         task_id = self._next_task_id
         self._next_task_id += 1
         ops = []
+        append = ops.append
+        size_of = self.value_sizes.size_of
+        op_id = self._next_op_id
         for key in keys:
-            ops.append(
+            append(
                 Operation(
-                    op_id=self._next_op_id,
+                    op_id=op_id,
                     task_id=task_id,
                     key=key,
-                    value_size=self.value_sizes.size_of(key),
+                    value_size=size_of(key),
                 )
             )
-            self._next_op_id += 1
+            op_id += 1
+        self._next_op_id = op_id
+
+        pos = self._client_pos
+        n = self.n_clients
+        if pos >= len(self._client_buffer) or n != self._client_source:
+            self._client_source = n
+            draw = self._client_stream.randrange
+            self._client_buffer = [draw(n) for _ in range(ARRIVAL_BLOCK)]
+            pos = 0
+        self._client_pos = pos + 1
         return Task(
             task_id=task_id,
             arrival_time=self._clock,
-            client_id=self._client_stream.randrange(self.n_clients),
+            client_id=self._client_buffer[pos],
             operations=tuple(ops),
         )
 

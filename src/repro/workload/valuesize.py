@@ -103,6 +103,12 @@ class GeneralizedParetoValueSize(ValueSizeDistribution):
         self.shape = float(shape)
         self.min_size = int(min_size)
         self.max_size = int(max_size)
+        # Truncation bounds are pure functions of the parameters; caching
+        # them here removes two CDF evaluations from every sample() call
+        # (the registry draws one sample per distinct key).  Same
+        # expressions, same floats.
+        self._f_lo = self._cdf(float(self.min_size))
+        self._f_hi = self._cdf(float(self.max_size))
 
     def _raw_sample(self, u: float) -> float:
         if abs(self.shape) < 1e-12:
@@ -120,9 +126,7 @@ class GeneralizedParetoValueSize(ValueSizeDistribution):
     def sample(self, stream: Stream) -> int:
         # Inverse-CDF restricted to [F(min), F(max)]: exact truncated draw
         # with a single uniform (no rejection loop).
-        f_lo = self._cdf(float(self.min_size))
-        f_hi = self._cdf(float(self.max_size))
-        u = f_lo + stream.random() * (f_hi - f_lo)
+        u = self._f_lo + stream.random() * (self._f_hi - self._f_lo)
         x = self._raw_sample(u)
         return max(self.min_size, min(self.max_size, int(round(x))))
 
@@ -134,9 +138,8 @@ class GeneralizedParetoValueSize(ValueSizeDistribution):
         # Integrate x f(x) over [min,max] via the tail formula
         # E[X] = min + integral of (1 - F_trunc(x)) dx, with Simpson's rule
         # on a log-spaced grid (the integrand spans several decades).
-        f_lo = self._cdf(float(self.min_size))
-        f_hi = self._cdf(float(self.max_size))
-        span = f_hi - f_lo
+        f_hi = self._f_hi
+        span = f_hi - self._f_lo
 
         def survival(x: float) -> float:
             return (f_hi - self._cdf(x)) / span

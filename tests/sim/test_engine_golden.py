@@ -1,0 +1,88 @@
+"""Engine-vs-engine byte-equality: fixed seeds, golden ``RunResult`` dicts.
+
+The fixture was captured with the *pre-overhaul* engine (PR 4 state) and
+is the differential half of the hot-path overhaul's determinism promise:
+the heap-calendar/Timer/batched-RNG/memoized-cost engine must reproduce
+the old engine's ``RunResult.to_dict()`` -- which folds every task
+latency into a SHA-256 digest, plus ``events_processed`` and all audit
+extras -- byte for byte, across 3 scenarios x 2 strategies.
+
+To regenerate after an *intentional* semantics change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/sim/test_engine_golden.py
+
+and explain in the commit why determinism moved (see
+``docs/performance.md`` for what "byte-identical" does and does not
+cover).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import run_experiment
+from repro.scenarios import get_scenario
+
+FIXTURE = Path(__file__).parent / "fixtures" / "engine_golden.json"
+
+GRID = [
+    ("steady-state", "c3"),
+    ("steady-state", "unifincr-credits"),
+    ("straggler", "c3"),
+    ("straggler", "unifincr-credits"),
+    ("hotspot-skew", "c3"),
+    ("hotspot-skew", "unifincr-credits"),
+]
+N_TASKS = 400
+SEED = 1
+
+
+def _run_cell(scenario, strategy):
+    config = get_scenario(scenario).build_config(strategy=strategy, n_tasks=N_TASKS)
+    return run_experiment(config, seed=SEED).to_dict()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":  # pragma: no cover
+        data = {
+            f"{scenario}/{strategy}/seed{SEED}": _run_cell(scenario, strategy)
+            for scenario, strategy in GRID
+        }
+        FIXTURE.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return json.loads(FIXTURE.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize(
+    "scenario,strategy", GRID, ids=[f"{s}-{st}" for s, st in GRID]
+)
+def test_run_result_matches_pre_overhaul_engine(golden, scenario, strategy):
+    produced = json.loads(json.dumps(_run_cell(scenario, strategy), sort_keys=True))
+    expected = golden[f"{scenario}/{strategy}/seed{SEED}"]
+    assert produced == expected, (
+        f"{scenario}/{strategy}: RunResult.to_dict() drifted from the "
+        "pre-overhaul engine; if intentional, regenerate with "
+        "REPRO_REGEN_GOLDEN=1 and justify the determinism break"
+    )
+
+
+def test_fixture_covers_grid_and_counts():
+    """Guard the fixture against truncation or an empty regen."""
+    data = json.loads(FIXTURE.read_text(encoding="utf-8"))
+    assert len(data) == len(GRID)
+    for key, cell in data.items():
+        assert cell["n_tasks"] == N_TASKS, key
+        assert cell["tasks_completed"] == N_TASKS, key
+        assert cell["events_processed"] > 0, key
+        assert len(cell["task_latency_digest"]) == 64, key
+
+
+def test_to_dict_is_deterministic_within_one_process():
+    """Same (config, seed) twice in one process -> identical dicts."""
+    scenario, strategy = GRID[0]
+    assert _run_cell(scenario, strategy) == _run_cell(scenario, strategy)

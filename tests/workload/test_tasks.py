@@ -129,3 +129,101 @@ class TestTraceStats:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             trace_stats([])
+
+
+class TestBufferedDistinctKeys:
+    """The generator's buffered key path must mirror ``sample_distinct``.
+
+    There is exactly one copy of the distinct-key algorithm
+    (``PopularityModel.sample_distinct``); the generator only swaps in a
+    block-buffered draw source via the ``next_key`` parameter.  These
+    tests pin that the buffered source is draw-for-draw identical to
+    unbuffered sampling on the same stream, including the dense-fallback
+    edge, and that stale buffers are invalidated when the generator's
+    source models are reassigned mid-run.
+    """
+
+    def test_matches_sample_distinct_draw_for_draw(self):
+        from repro.sim.rng import Stream
+        from repro.workload.popularity import ZipfPopularity
+
+        popularity = ZipfPopularity(300, 0.9)
+        generator = make_generator(n_keys=300)
+        generator.popularity = popularity
+        generator._key_stream = Stream(7)
+        reference_stream = Stream(7)
+        # Mixed counts, repeated small draws, and n_keys itself (which
+        # exhausts the attempt limit and exercises the dense fallback).
+        for count in (1, 3, 5, 2, 8, 1, 4, 300, 2):
+            assert generator._distinct_keys(count) == popularity.sample_distinct(
+                reference_stream, count
+            )
+
+    def test_rejects_overlarge_count_like_sample_distinct(self):
+        generator = make_generator(n_keys=10)
+        with pytest.raises(ValueError):
+            generator._distinct_keys(11)
+
+    def test_custom_sample_distinct_override_is_honored(self):
+        """A popularity model overriding sample_distinct bypasses the
+        buffered mirror entirely (its semantics win over batching)."""
+
+        class EvenKeysOnly(UniformPopularity):
+            def sample_distinct(self, stream, count):
+                return [2 * i for i in range(count)]
+
+        streams = StreamFactory(1)
+        generator = TaskGenerator(
+            fanout=FixedFanout(3),
+            popularity=EvenKeysOnly(1000),
+            value_sizes=ValueSizeRegistry(FixedValueSize(64), seed=1),
+            arrivals=PoissonArrivals(100.0),
+            n_clients=2,
+            streams=streams,
+        )
+        task = generator.next_task()
+        assert [op.key for op in task.operations] == [0, 2, 4]
+
+    def test_reassigned_popularity_invalidates_key_buffer(self):
+        """Swapping the popularity model drops pre-drawn keys of the old
+        model instead of serving up to a block of stale draws."""
+        generator = make_generator(fanout=3, n_keys=1000)
+        generator.next_task()  # fills the key buffer from the 1000-keyspace
+        generator.popularity = UniformPopularity(10)
+        task = generator.next_task()
+        assert all(0 <= op.key < 10 for op in task.operations), [
+            op.key for op in task.operations
+        ]
+
+    def test_reassigned_arrivals_invalidates_gap_buffer(self):
+        """Swapping the arrival process must take effect immediately."""
+        from repro.workload import DeterministicArrivals
+
+        generator = make_generator(rate=100.0)
+        first = generator.next_task()
+        generator.arrivals = DeterministicArrivals(1.0)  # 1s gaps exactly
+        second = generator.next_task()
+        third = generator.next_task()
+        assert second.arrival_time - first.arrival_time == pytest.approx(1.0)
+        assert third.arrival_time - second.arrival_time == pytest.approx(1.0)
+
+    def test_reassigned_n_clients_invalidates_client_buffer(self):
+        generator = make_generator(n_clients=50)
+        generator.next_task()
+        generator.n_clients = 2
+        clients = {generator.next_task().client_id for _ in range(30)}
+        assert clients <= {0, 1}
+
+    def test_custom_override_honored_after_late_reassignment(self):
+        """The override check runs per task, so swapping the popularity
+        model on a live generator switches paths immediately."""
+
+        class OddKeysOnly(UniformPopularity):
+            def sample_distinct(self, stream, count):
+                return [2 * i + 1 for i in range(count)]
+
+        generator = make_generator(fanout=3)
+        generator.next_task()  # buffered base path, seeds the buffers
+        generator.popularity = OddKeysOnly(1000)
+        task = generator.next_task()
+        assert [op.key for op in task.operations] == [1, 3, 5]
