@@ -9,6 +9,7 @@ Commands
 ``figure2``    the headline evaluation across strategies and seeds
 ``serve``      start the live asyncio multiget KV service
 ``loadgen``    drive a live service with a scenario's workload + faults
+``firehose``   saturate a live service (wire-path throughput ceiling)
 ``compare``    sim vs live differential for one scenario
 ``trace``      generate / inspect workload traces
 ``ring``       inspect / perturb the replica-placement ring
@@ -372,21 +373,85 @@ def _add_serve(subparsers: argparse._SubParsersAction) -> None:
                    help="cluster shape + service calibration to serve")
     p.add_argument("--host", default=None, help="bind address (default loopback)")
     p.add_argument("--port", type=int, default=None,
-                   help="TCP port (0 = ephemeral; default 7411)")
+                   help="TCP port (0 = ephemeral; default 7411; with --procs N, "
+                        "process i listens on port+i)")
+    p.add_argument("--procs", type=int, default=1, metavar="N",
+                   help="fork N server processes, each hosting a contiguous "
+                        "worker group on its own port")
     p.add_argument("--time-scale", type=float, default=None, metavar="S",
                    help="wall seconds per model second (default 25)")
     p.add_argument("--seed", type=int, default=1,
                    help="seed for the service-time noise streams")
+    p.add_argument("--stats-interval", type=float, default=None, metavar="S",
+                   help="print per-worker queue depth and ops/s to stderr "
+                        "every S wall seconds")
+    p.add_argument("--uvloop", action="store_true",
+                   help="use uvloop's event loop when the package is installed "
+                        "(silently falls back to asyncio otherwise)")
     p.set_defaults(func=_cmd_serve)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .serve import DEFAULT_HOST, DEFAULT_PORT, DEFAULT_TIME_SCALE, run_server
+    from .serve import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        DEFAULT_TIME_SCALE,
+        ServeSupervisor,
+        install_uvloop,
+        run_server,
+    )
 
     config = get_scenario(args.scenario).build_config()
     time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+
+    if args.procs > 1:
+        import time as _time
+
+        supervisor = ServeSupervisor(
+            config,
+            procs=args.procs,
+            time_scale=time_scale,
+            seed=args.seed,
+            host=host,
+            base_port=port,
+            stats_interval=args.stats_interval,
+            use_uvloop=args.uvloop,
+        )
+        try:
+            endpoints = supervisor.start()
+        except (ValueError, RuntimeError) as exc:
+            print(f"serve failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"serving scenario {args.scenario!r} across {args.procs} "
+            f"processes (time scale {time_scale:g}x):",
+            flush=True,
+        )
+        for (endpoint_host, endpoint_port), group in zip(
+            endpoints, supervisor.groups
+        ):
+            print(
+                f"  {endpoint_host}:{endpoint_port} "
+                f"workers {group[0]}..{group[-1]}",
+                flush=True,
+            )
+        try:
+            while supervisor.alive:
+                _time.sleep(0.5)
+            print("a server process exited; shutting down", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            supervisor.stop()
+        return 0
+
+    if args.uvloop:
+        install_uvloop()
 
     def ready(server) -> None:
         print(
@@ -404,9 +469,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config,
                 time_scale=time_scale,
                 seed=args.seed,
-                host=args.host if args.host is not None else DEFAULT_HOST,
-                port=args.port if args.port is not None else DEFAULT_PORT,
+                host=host,
+                port=port,
                 ready=ready,
+                stats_interval=args.stats_interval,
             )
         )
     except KeyboardInterrupt:
@@ -426,11 +492,40 @@ def _add_loadgen(subparsers: argparse._SubParsersAction) -> None:
                    help="repeat under K consecutive seeds (starting at --seed)")
     p.add_argument("--host", default=None)
     p.add_argument("--port", type=int, default=None)
+    p.add_argument("--endpoints", default=None, metavar="H:P,H:P,...",
+                   help="comma-separated endpoints of a multi-process cluster "
+                        "(overrides --host/--port)")
+    p.add_argument("--pool", type=int, default=1, metavar="K",
+                   help="connections per endpoint")
+    p.add_argument("--protocol", default="binary", choices=("binary", "json"),
+                   help="highest wire codec to negotiate (json pins v1)")
     p.add_argument("--timeout", type=float, default=None, metavar="S",
                    help="wall-clock safety timeout per run (seconds)")
     p.add_argument("--out", type=str, default=None,
                    help="write the summary JSON (sim-identical schema) here")
     p.set_defaults(func=_cmd_loadgen)
+
+
+def _parse_endpoints(raw: str) -> _t.List[_t.Tuple[str, int]]:
+    """``host:port,host:port`` -> endpoint tuples (ValueError on garbage)."""
+    endpoints = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, sep, port = chunk.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"bad endpoint {chunk!r} (expected host:port)")
+        endpoints.append((host, int(port)))
+    if not endpoints:
+        raise ValueError("empty endpoint list")
+    return endpoints
+
+
+def _protocol_cap(name: str) -> int:
+    from .serve import MAX_PROTOCOL_VERSION, PROTOCOL_VERSION
+
+    return PROTOCOL_VERSION if name == "json" else MAX_PROTOCOL_VERSION
 
 
 def _reject_model_strategies(strategies: _t.Iterable[str]) -> _t.Optional[str]:
@@ -467,13 +562,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     seeds = tuple(range(args.seed, args.seed + args.seeds))
     host = args.host if args.host is not None else DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
-    print(f"loadgen: {config.describe()} (seeds {list(seeds)}) -> {host}:{port}")
+    if args.endpoints is not None:
+        try:
+            endpoints = _parse_endpoints(args.endpoints)
+        except ValueError as exc:
+            print(f"bad --endpoints: {exc}", file=sys.stderr)
+            return 2
+    else:
+        endpoints = [(host, port)]
+    where = ", ".join(f"{h}:{p}" for h, p in endpoints)
+    print(
+        f"loadgen: {config.describe()} (seeds {list(seeds)}) -> {where} "
+        f"(pool {args.pool}, protocol {args.protocol})"
+    )
     for line in config.faults().describe():
         print(f"  fault: {line}")
     try:
         results = asyncio.run(
             run_live_seeds(
-                config, seeds, host=host, port=port, wall_timeout=args.timeout
+                config,
+                seeds,
+                endpoints=endpoints,
+                pool=args.pool,
+                protocol=_protocol_cap(args.protocol),
+                wall_timeout=args.timeout,
             )
         )
     except (ConnectionError, OSError, LiveTransportError) as exc:
@@ -485,6 +597,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     wall = sum(r.extras.get("live_wall_duration_s", 0.0) for r in results)
     print(f"completed {total} multigets in {wall:.1f}s wall "
           f"(time scale {results[0].extras['live_time_scale']:g}x)")
+    lag_mean = max(r.extras.get("schedule_lag_mean_s", 0.0) for r in results)
+    lag_max = max(r.extras.get("schedule_lag_max_s", 0.0) for r in results)
+    print(
+        f"open-loop schedule lag: mean {lag_mean * 1e3:.3f} ms, "
+        f"max {lag_max * 1e3:.3f} ms (model time; large values mean the "
+        f"generator fell behind the arrival schedule)"
+    )
     summary = live_summary(
         {config.strategy: results},
         meta={
@@ -493,6 +612,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "n_tasks": args.tasks,
             "time_scale": results[0].extras["live_time_scale"],
             "wall_duration_s": wall,
+            "protocol": results[0].extras.get("live_protocol", 1.0),
+            "endpoints": len(endpoints),
+            "pool": args.pool,
+            "schedule_lag_mean_s": lag_mean,
+            "schedule_lag_max_s": lag_max,
         },
     )
     if args.out:
@@ -500,6 +624,98 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dumps(summary, indent=2), encoding="utf-8"
         )
         print(f"summary -> {args.out}")
+    return 0
+
+
+def _add_firehose(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "firehose",
+        help="saturate a live service with closed-loop multigets",
+        description="Drive a running service as hard as the wire allows: "
+                    "a fixed window of multigets kept in flight, no "
+                    "arrival schedule and no replica selection, so the "
+                    "measured ceiling is the transport's (codec, "
+                    "pipelining, pooling), not the scheduler's. The "
+                    "sustained-rate tool behind "
+                    "results/live_throughput.json and the CI live smoke; "
+                    "use `repro loadgen` to measure scheduling quality.",
+    )
+    p.add_argument("--endpoints", default=None, metavar="H:P,H:P,...",
+                   help="comma-separated endpoints of the cluster "
+                        "(default: the default serve address)")
+    p.add_argument("--multigets", type=int, default=10_000, metavar="N",
+                   help="measured multigets (after warmup)")
+    p.add_argument("--fanout", type=int, default=4, metavar="K",
+                   help="keys per multiget")
+    p.add_argument("--window", type=int, default=256, metavar="W",
+                   help="multigets kept in flight (1 = sequential)")
+    p.add_argument("--pool", type=int, default=1, metavar="K",
+                   help="connections per endpoint")
+    p.add_argument("--protocol", default="binary", choices=("binary", "json"),
+                   help="highest wire codec to negotiate (json pins v1)")
+    p.add_argument("--value-size", type=int, default=1024, metavar="B",
+                   help="value bytes per key")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                   help="wall-clock safety timeout")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the measurement JSON here")
+    p.set_defaults(func=_cmd_firehose)
+
+
+def _cmd_firehose(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .loadgen import LiveTransportError, run_firehose
+    from .serve import DEFAULT_HOST, DEFAULT_PORT
+
+    if args.endpoints is not None:
+        try:
+            endpoints = _parse_endpoints(args.endpoints)
+        except ValueError as exc:
+            print(f"bad --endpoints: {exc}", file=sys.stderr)
+            return 2
+    else:
+        endpoints = [(DEFAULT_HOST, DEFAULT_PORT)]
+    where = ", ".join(f"{h}:{p}" for h, p in endpoints)
+    print(
+        f"firehose -> {where}: {args.multigets} multigets x fanout "
+        f"{args.fanout}, window {args.window}, pool {args.pool}, "
+        f"{args.protocol} protocol"
+    )
+    try:
+        result = asyncio.run(
+            run_firehose(
+                endpoints,
+                multigets=args.multigets,
+                fanout=args.fanout,
+                value_size=args.value_size,
+                window=args.window,
+                pool=args.pool,
+                protocol=_protocol_cap(args.protocol),
+                wall_timeout=args.timeout,
+            )
+        )
+    except (ConnectionError, OSError, LiveTransportError) as exc:
+        print(f"firehose failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{result.multigets_per_s:,.0f} multigets/s "
+        f"({result.ops_per_s:,.0f} ops/s) over {result.elapsed_s:.2f}s"
+    )
+    print(
+        f"multiget RTT: p50 {result.p50_ms:.2f} ms, p99 {result.p99_ms:.2f} ms "
+        f"(wall; divide by the server's time scale for model time)"
+    )
+    print(
+        f"wire: {result.writes_per_multiget:.3f} writes/multiget, "
+        f"{result.bytes_per_op:.1f} bytes/op sent"
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"measurement -> {args.out}")
     return 0
 
 
@@ -515,6 +731,13 @@ def _add_compare(subparsers: argparse._SubParsersAction) -> None:
                    help="seed grid 1..K for both realms")
     p.add_argument("--time-scale", type=float, default=None, metavar="S",
                    help="live time stretch (default 25)")
+    p.add_argument("--procs", type=int, default=1, metavar="N",
+                   help="run the live half against an N-process cluster "
+                        "(default: in-process loopback)")
+    p.add_argument("--pool", type=int, default=1, metavar="K",
+                   help="live connections per endpoint")
+    p.add_argument("--protocol", default="binary", choices=("binary", "json"),
+                   help="highest wire codec to negotiate (json pins v1)")
     p.add_argument("--out", type=str, default=None, help="raw JSON output path")
     _add_parallel_flags(p)  # applies to the simulated half of the diff
     p.set_defaults(func=_cmd_compare)
@@ -540,10 +763,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print("--seeds must be at least 1", file=sys.stderr)
         return 2
     time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    backend = (
+        f"{args.procs}-process cluster" if args.procs > 1 else "loopback"
+    )
     print(
         f"comparing {', '.join(strategies)} on {args.scenario!r}: "
         f"{args.tasks} tasks x {args.seeds} seed(s), sim then live "
-        f"(loopback, {time_scale:g}x time scale)"
+        f"({backend}, {time_scale:g}x time scale, {args.protocol} protocol)"
     )
     report = run_compare(
         args.scenario,
@@ -552,6 +778,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seeds=tuple(range(1, args.seeds + 1)),
         time_scale=time_scale,
         executor=_executor_from(args),
+        procs=args.procs,
+        pool=args.pool,
+        protocol=_protocol_cap(args.protocol),
     )
     print(report.render())
     if args.out:
@@ -871,6 +1100,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_figure2(subparsers)
     _add_serve(subparsers)
     _add_loadgen(subparsers)
+    _add_firehose(subparsers)
     _add_compare(subparsers)
     _add_trace(subparsers)
     _add_ring(subparsers)

@@ -23,3 +23,45 @@ def client_address(client_id: int) -> _t.Tuple[str, int]:
 
 #: The logically-centralized credits controller.
 CONTROLLER_ADDRESS: _t.Tuple[str, int] = ("controller", 0)
+
+
+def worker_groups(n_servers: int, procs: int) -> _t.List[_t.List[int]]:
+    """Partition ``n_servers`` worker ids into ``procs`` contiguous groups.
+
+    The multi-process supervisor gives each process one group; sizes
+    differ by at most one (the first ``n_servers % procs`` groups take
+    the extra worker).  ``procs`` beyond ``n_servers`` is an error -- an
+    empty server process could never answer an op.
+    """
+    if procs <= 0:
+        raise ValueError("procs must be positive")
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    if procs > n_servers:
+        raise ValueError(
+            f"cannot split {n_servers} workers across {procs} processes"
+        )
+    base, extra = divmod(n_servers, procs)
+    groups: _t.List[_t.List[int]] = []
+    start = 0
+    for index in range(procs):
+        size = base + (1 if index < extra else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def derive_endpoints(
+    host: str, base_port: int, procs: int
+) -> _t.List[_t.Tuple[str, int]]:
+    """The TCP endpoints of a ``procs``-process cluster at ``base_port``.
+
+    Process ``i`` listens on ``base_port + i``; with ``base_port`` 0
+    every process picks an ephemeral port (the supervisor reports the
+    real ones).
+    """
+    if procs <= 0:
+        raise ValueError("procs must be positive")
+    if base_port == 0:
+        return [(host, 0)] * procs
+    return [(host, base_port + i) for i in range(procs)]

@@ -15,16 +15,19 @@ from .driver import (
     run_live,
     run_live_seeds,
 )
+from .firehose import FirehoseResult, run_firehose
 from .transport import LiveTransport, LiveTransportError, handshake
 
 __all__ = [
     "CompareReport",
+    "FirehoseResult",
     "LiveFaultDriver",
     "LiveTransport",
     "LiveTransportError",
     "handshake",
     "live_summary",
     "run_compare",
+    "run_firehose",
     "run_live",
     "run_live_seeds",
 ]

@@ -28,7 +28,9 @@ from ..harness.config import ExperimentConfig
 from ..harness.results import ComparisonResult, compare_strategies
 from ..harness.runner import run_seeds
 from ..scenarios import get_scenario
+from ..serve.protocol import MAX_PROTOCOL_VERSION
 from ..serve.server import DEFAULT_TIME_SCALE, LiveServer
+from ..serve.supervisor import ServeSupervisor
 from .driver import run_live_seeds
 
 if _t.TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +46,8 @@ class CompareReport:
     sim: ComparisonResult
     live: ComparisonResult
     time_scale: float
+    #: Server processes the live half ran against (1 = in-process loopback).
+    procs: int = 1
 
     @property
     def strategies(self) -> _t.Tuple[str, ...]:
@@ -115,6 +119,7 @@ class CompareReport:
             "scenario": self.scenario,
             "seeds": list(self.seeds),
             "time_scale": self.time_scale,
+            "procs": self.procs,
             "sim": self.sim.to_dict(),
             "live": self.live.to_dict(),
             "p99_ordering": {
@@ -130,32 +135,74 @@ class CompareReport:
         )
 
 
-async def _live_comparison(
+async def _live_strategy_loopback(
+    config: ExperimentConfig,
+    seeds: _t.Sequence[int],
+    time_scale: float,
+    wall_timeout: _t.Optional[float],
+    pool: int,
+    protocol: int,
+) -> _t.List:
+    """One strategy's live runs against a fresh in-process loopback server."""
+    server = LiveServer.from_config(config, time_scale=time_scale, port=0)
+    await server.start()
+    try:
+        return await run_live_seeds(
+            config,
+            seeds,
+            endpoints=[(server.host, server.port)],
+            pool=pool,
+            protocol=protocol,
+            wall_timeout=wall_timeout,
+        )
+    finally:
+        await server.stop()
+
+
+def _live_comparison(
     configs: _t.Mapping[str, ExperimentConfig],
     seeds: _t.Sequence[int],
     time_scale: float,
     wall_timeout: _t.Optional[float],
+    procs: int,
+    pool: int,
+    protocol: int,
 ) -> ComparisonResult:
-    """Run each strategy against its own fresh loopback server.
+    """Run each strategy against its own fresh backend.
 
-    A fresh server per strategy keeps runs independent (no queue residue,
-    no warmed EWMAs crossing strategies), mirroring the simulation's
-    fresh-environment-per-run discipline.
+    A fresh backend per strategy keeps runs independent (no queue
+    residue, no warmed EWMAs crossing strategies), mirroring the
+    simulation's fresh-environment-per-run discipline.  ``procs > 1``
+    forks a real multi-process cluster per strategy (the supervisor must
+    start before any event loop runs, hence the sync shape of this
+    function); ``procs == 1`` keeps the in-process loopback server.
     """
     results: _t.Dict[str, _t.List] = {}
     for name, config in configs.items():
-        server = LiveServer.from_config(config, time_scale=time_scale, port=0)
-        await server.start()
-        try:
-            results[name] = await run_live_seeds(
-                config,
-                seeds,
-                host=server.host,
-                port=server.port,
-                wall_timeout=wall_timeout,
+        if procs > 1:
+            supervisor = ServeSupervisor(
+                config, procs=procs, time_scale=time_scale, base_port=0
             )
-        finally:
-            await server.stop()
+            endpoints = supervisor.start()
+            try:
+                results[name] = asyncio.run(
+                    run_live_seeds(
+                        config,
+                        seeds,
+                        endpoints=endpoints,
+                        pool=pool,
+                        protocol=protocol,
+                        wall_timeout=wall_timeout,
+                    )
+                )
+            finally:
+                supervisor.stop()
+        else:
+            results[name] = asyncio.run(
+                _live_strategy_loopback(
+                    config, seeds, time_scale, wall_timeout, pool, protocol
+                )
+            )
     return compare_strategies(results)
 
 
@@ -167,12 +214,17 @@ def run_compare(
     time_scale: float = DEFAULT_TIME_SCALE,
     wall_timeout: _t.Optional[float] = None,
     executor: _t.Optional["GridExecutor"] = None,
+    procs: int = 1,
+    pool: int = 1,
+    protocol: int = MAX_PROTOCOL_VERSION,
 ) -> CompareReport:
     """Run the full differential: sim then live, one scenario, N strategies.
 
     ``executor`` applies to the *simulated* half only (the PR-2 seam:
     process fan-out and result-cache reuse); live cells are inherently
     serial -- they would contend for the same wall-clock backend.
+    ``procs``/``pool``/``protocol`` shape the live half: server process
+    count, connections per endpoint, and the wire codec cap.
     """
     if not strategies:
         raise ValueError("need at least one strategy to compare")
@@ -186,8 +238,8 @@ def run_compare(
         for name, config in configs.items()
     }
     sim = compare_strategies(sim_results)
-    live = asyncio.run(
-        _live_comparison(configs, seeds, time_scale, wall_timeout)
+    live = _live_comparison(
+        configs, seeds, time_scale, wall_timeout, procs, pool, protocol
     )
     return CompareReport(
         scenario=scenario,
@@ -195,4 +247,5 @@ def run_compare(
         sim=sim,
         live=live,
         time_scale=time_scale,
+        procs=procs,
     )

@@ -44,9 +44,10 @@ from ..harness.runner import RunResult
 from ..metrics.counters import MetricRegistry
 from ..metrics.reservoir import ExactSample
 from ..placement import MutablePlacement
+from ..serve.protocol import MAX_PROTOCOL_VERSION
 from ..serve.server import DEFAULT_HOST, DEFAULT_PORT
 from ..sim.rng import StreamFactory
-from .transport import LiveTransport, LiveTransportError, handshake
+from .transport import LiveTransport, LiveTransportError
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..cluster.messages import TaskCompletion
@@ -244,29 +245,34 @@ async def run_live(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     wall_timeout: _t.Optional[float] = None,
+    endpoints: _t.Optional[_t.Sequence[_t.Tuple[str, int]]] = None,
+    pool: int = 1,
+    protocol: int = MAX_PROTOCOL_VERSION,
 ) -> RunResult:
-    """Drive one (config, seed) load-generation run against a live server."""
+    """Drive one (config, seed) load-generation run against a live cluster.
+
+    ``endpoints`` lists every server process of a multi-process cluster
+    (defaults to the single ``(host, port)``); ``pool`` opens that many
+    connections per endpoint; ``protocol`` caps codec negotiation (1
+    pins JSON).
+    """
     builder = get_builder(config.strategy)
     if isinstance(builder, ModelBuilder):
         raise ValueError(
             f"strategy {config.strategy!r} is the unrealizable global-queue "
             "model; it has no live realization (that is the paper's point)"
         )
-    reader, writer = await asyncio.open_connection(host, port)
+    if endpoints is None:
+        endpoints = [(host, port)]
+    transport = await LiveTransport.connect(
+        endpoints, pool=pool, protocol=protocol
+    )
     try:
-        ack = await handshake(reader, writer)
-        _validate_shape(config, ack)
+        _validate_shape(config, transport.ack)
     except BaseException:
-        # The transport (and its closing machinery) doesn't exist yet;
-        # close the raw connection so early failures don't leak sockets.
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        await transport.close()
         raise
-    clock = WallClock(scale=float(ack["time_scale"]))
-    transport = LiveTransport(clock, reader, writer)
+    clock = transport.clock
     feeder: _t.Optional["asyncio.Task[None]"] = None
     done_waiter: _t.Optional["asyncio.Task[bool]"] = None
     faults: _t.Optional[LiveFaultDriver] = None
@@ -318,6 +324,13 @@ async def run_live(
         if wall_timeout is None:
             wall_timeout = max(60.0, 12.0 * expected_model_s * clock.scale + 30.0)
 
+        # Open-loop honesty metric: when the event loop falls behind the
+        # arrival schedule, tasks fire late and effectively back-to-back
+        # -- a silently closed loop.  Track how late (model seconds), so
+        # saturated runs are detectable in the summary instead of quietly
+        # under-reporting latency.
+        schedule_lag = {"max": 0.0, "total": 0.0, "n": 0}
+
         async def feed() -> None:
             next_at = 0.0
             last_arrival = 0.0
@@ -328,6 +341,12 @@ async def run_live(
                 next_at += gap / faults.arrival_scale()
                 if next_at > clock.now:
                     await clock.sleep_until(next_at)
+                lag = clock.now - next_at
+                if lag > 0.0:
+                    schedule_lag["total"] += lag
+                    if lag > schedule_lag["max"]:
+                        schedule_lag["max"] = lag
+                schedule_lag["n"] += 1
                 clients[task.client_id].submit(task)
 
         wall_start = time.monotonic()
@@ -415,6 +434,14 @@ async def run_live(
             "live_wall_duration_s": wall_duration,
             "live_requests_rejected": float(stats_after.get("rejected", 0)),
             "live_congestion_frames": float(transport.congestion_signals),
+            "live_protocol": float(transport.ack.get("proto", 1)),
+            "live_links": float(transport.links),
+            "schedule_lag_max_s": schedule_lag["max"],
+            "schedule_lag_mean_s": (
+                schedule_lag["total"] / schedule_lag["n"]
+                if schedule_lag["n"]
+                else 0.0
+            ),
         }
         extras.update(builder.collect_extras(ctx, clients, ()))
         extras.update(faults.extras())
@@ -468,12 +495,24 @@ async def run_live_seeds(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     wall_timeout: _t.Optional[float] = None,
+    endpoints: _t.Optional[_t.Sequence[_t.Tuple[str, int]]] = None,
+    pool: int = 1,
+    protocol: int = MAX_PROTOCOL_VERSION,
 ) -> _t.List[RunResult]:
     """Sequential multi-seed live runs (live cells cannot overlap: they
     would contend for the same wall-clock backend)."""
     if not seeds:
         raise ValueError("need at least one seed")
     return [
-        await run_live(config, seed=seed, host=host, port=port, wall_timeout=wall_timeout)
+        await run_live(
+            config,
+            seed=seed,
+            host=host,
+            port=port,
+            wall_timeout=wall_timeout,
+            endpoints=endpoints,
+            pool=pool,
+            protocol=protocol,
+        )
         for seed in seeds
     ]

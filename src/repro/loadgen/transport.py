@@ -1,16 +1,23 @@
-"""The live client transport: the Transport seam over one TCP connection.
+"""The live client transport: the Transport seam over pooled TCP links.
 
 :class:`LiveTransport` is what makes the *unmodified* strategy stack run
 against the live service: it implements the same ``register``/``send``
 surface as the simulated :class:`~repro.cluster.network.Network`, so
 clients, credit gates and the credits controller plug into it directly.
+Underneath, it speaks to a whole cluster: one or many server processes
+(endpoints), each owning a subset of the workers, with ``pool``
+connections per endpoint and arbitrarily many pipelined ``op`` frames in
+flight per connection (writes are coalesced per event-loop turn by
+:class:`~repro.serve.protocol.BatchWriter`, reads are chunked by
+:class:`~repro.serve.protocol.FrameStream`).
 
 Routing
 -------
 * messages addressed to a **server** (:class:`~repro.cluster.messages.
-  RequestMessage`) are turned into wire ``op`` frames; the request object
-  itself stays client-side in a pending map keyed by a wire id, and the
-  matching ``res`` frame is reassembled into the exact
+  RequestMessage`) are turned into wire ``op`` frames on a link to the
+  endpoint that owns that worker (round-robin across its pool); the
+  request object itself stays client-side in a pending map keyed by a
+  wire id, and the matching ``res`` frame is reassembled into the exact
   :class:`~repro.cluster.messages.ResponseMessage` the strategies expect,
   feedback included;
 * messages between **local** endpoints (demand reports and credit grants
@@ -20,7 +27,16 @@ Routing
   re-entrant callback chains;
 * ``congestion`` frames from the service become
   :class:`~repro.cluster.messages.CongestionSignal` deliveries to the
-  controller address, closing the credits feedback loop.
+  controller address, closing the credits feedback loop.  Only the first
+  (*primary*) connection of each endpoint's pool subscribes to them, so
+  the controller sees each signal exactly once;
+* ``admin`` frames fan out per endpoint, their ``servers`` target list
+  cut down to the workers that endpoint owns; ``stats`` replies are
+  merged back into one cluster-wide frame.
+
+The wire codec is negotiated per connection in :func:`handshake`
+(binary v2 when both sides speak it, v1 JSON otherwise), so this client
+interoperates with old JSON-only servers unchanged.
 """
 
 from __future__ import annotations
@@ -31,10 +47,15 @@ import typing as _t
 from ..cluster.addresses import CONTROLLER_ADDRESS, client_address
 from ..cluster.messages import CongestionSignal, ResponseMessage, ServerFeedback
 from ..core.clock import WallClock
+from ..serve.codec import BINARY_CODEC, codec_for
 from ..serve.protocol import (
+    MAX_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    BatchWriter,
+    FrameStream,
     ProtocolError,
     encode_frame,
+    hello_frame,
     priority_to_wire,
     read_frame,
 )
@@ -42,53 +63,247 @@ from ..serve.protocol import (
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..cluster.messages import RequestMessage
 
+Endpoint = _t.Tuple[str, int]
+
+#: Wire ids live in the op frame's u32 field.
+_RID_MASK = 0xFFFFFFFF
+
 
 class LiveTransportError(RuntimeError):
     """The live connection failed or the service rejected a request."""
 
 
 async def handshake(
-    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    max_proto: int = MAX_PROTOCOL_VERSION,
+    congestion: bool = True,
 ) -> _t.Dict[str, _t.Any]:
-    """Exchange hello/hello-ack before the reader loop starts."""
-    writer.write(encode_frame({"t": "hello", "proto": PROTOCOL_VERSION}))
+    """Exchange hello/hello-ack (always in v1 JSON) and negotiate the codec.
+
+    Returns the ack; its ``proto`` field is the version every subsequent
+    frame on this connection travels in.  ``max_proto=1`` pins the
+    connection to JSON (the ``--protocol json`` escape hatch).
+    """
+    writer.write(encode_frame(hello_frame(max_proto, congestion)))
     await writer.drain()
     ack = await read_frame(reader)
     if ack is None:
         raise LiveTransportError("server closed the connection during handshake")
     if ack.get("t") == "error":
         raise LiveTransportError(f"handshake rejected: {ack.get('error')}")
-    if ack.get("t") != "hello-ack" or ack.get("proto") != PROTOCOL_VERSION:
+    if ack.get("t") != "hello-ack":
         raise LiveTransportError(f"unexpected handshake reply {ack!r}")
+    proto = ack.get("proto", PROTOCOL_VERSION)
+    if (
+        not isinstance(proto, int)
+        or isinstance(proto, bool)
+        or not PROTOCOL_VERSION <= proto <= max(max_proto, PROTOCOL_VERSION)
+    ):
+        raise LiveTransportError(f"server negotiated unusable protocol {proto!r}")
     return ack
 
 
-class LiveTransport:
-    """Transport-seam realization over an established live connection."""
+class _Link:
+    """One pooled connection to one endpoint, handshake already done."""
 
     def __init__(
         self,
-        clock: WallClock,
+        transport: "LiveTransport",
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        version: int,
+        endpoint: Endpoint,
+        primary: bool,
+    ) -> None:
+        self.transport = transport
+        self.endpoint = endpoint
+        self.primary = primary
+        self.codec = codec_for(version)
+        self.stream = FrameStream(reader, self.codec)
+        self.out = BatchWriter(writer)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"live-link.{endpoint[0]}:{endpoint[1]}"
+        )
+
+    def send_frame(self, frame: _t.Mapping[str, _t.Any]) -> None:
+        self.out.send(self.codec.encode(frame))
+
+    async def _read_loop(self) -> None:
+        transport = self.transport
+        try:
+            while True:
+                frame = await self.stream.read_frame()
+                if frame is None:
+                    transport._fail(
+                        LiveTransportError("server closed the connection")
+                    )
+                    return
+                transport._handle_frame(self, frame)
+        except asyncio.CancelledError:
+            pass
+        except (ProtocolError, ConnectionError) as exc:
+            transport._fail(LiveTransportError(f"live connection failed: {exc}"))
+        except Exception as exc:
+            # Anything else (a malformed frame field, a client-callback
+            # bug) must kill the run loudly -- a silently-dead read loop
+            # would stall the driver until its wall timeout.
+            transport._fail(
+                LiveTransportError(f"live transport crashed handling a frame: {exc}")
+            )
+
+    async def close(self, flush: bool = True) -> None:
+        self._reader_task.cancel()
+        await self.out.close(flush_timeout=1.0 if flush else 0.0)
+
+
+class LiveTransport:
+    """Transport-seam realization over a connected live cluster.
+
+    Build one with :meth:`connect`; the constructor wires an already
+    established set of links.
+    """
+
+    def __init__(
+        self, clock: WallClock, ack: _t.Dict[str, _t.Any]
     ) -> None:
         self.clock = clock
-        self._reader = reader
-        self._writer = writer
+        #: The first endpoint's hello-ack: the cluster shape every other
+        #: endpoint was checked against (drivers validate configs with it).
+        self.ack = ack
         self._handlers: _t.Dict[_t.Hashable, _t.Callable[[_t.Any], None]] = {}
         self._pending: _t.Dict[int, "RequestMessage"] = {}
         self._next_rid = 0
-        self._outbox: "asyncio.Queue[bytes]" = asyncio.Queue()
-        self._stats_waiters: _t.List["asyncio.Future[_t.Dict[str, _t.Any]]"] = []
+        self._links: _t.List[_Link] = []
+        self._endpoint_links: "_t.Dict[Endpoint, _t.List[_Link]]" = {}
+        self._endpoint_workers: "_t.Dict[Endpoint, _t.FrozenSet[int]]" = {}
+        self._worker_links: _t.Dict[int, _t.List[_Link]] = {}
+        self._rr: _t.Dict[Endpoint, int] = {}
+        self._stats_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
         #: Set on connection loss / protocol error / op rejection.
-        self.failed: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        self.failed: "asyncio.Future[None]" = (
+            asyncio.get_running_loop().create_future()
+        )
         self.ops_sent = 0
         self.responses_received = 0
         self.congestion_signals = 0
-        self._tasks = [
-            asyncio.get_running_loop().create_task(self._send_loop()),
-            asyncio.get_running_loop().create_task(self._read_loop()),
-        ]
+
+    @classmethod
+    async def connect(
+        cls,
+        endpoints: _t.Sequence[Endpoint],
+        pool: int = 1,
+        protocol: int = MAX_PROTOCOL_VERSION,
+    ) -> "LiveTransport":
+        """Connect ``pool`` links to every endpoint and assemble routing.
+
+        Every endpoint must present the same cluster shape and time
+        scale, and together they must own each worker exactly once.
+        """
+        if not endpoints:
+            raise ValueError("need at least one endpoint")
+        if pool < 1:
+            raise ValueError("pool must be at least 1")
+        opened: _t.List[
+            _t.Tuple[Endpoint, bool, asyncio.StreamReader, asyncio.StreamWriter, _t.Dict[str, _t.Any]]
+        ] = []
+        try:
+            for endpoint in endpoints:
+                for slot in range(pool):
+                    reader, writer = await asyncio.open_connection(*endpoint)
+                    try:
+                        ack = await handshake(
+                            reader,
+                            writer,
+                            max_proto=protocol,
+                            congestion=slot == 0,
+                        )
+                    except BaseException:
+                        writer.close()
+                        raise
+                    opened.append((endpoint, slot == 0, reader, writer, ack))
+            cls._validate_acks(endpoints, [o[4] for o in opened], pool)
+        except BaseException:
+            for _, _, _, writer, _ in opened:
+                writer.close()
+            raise
+        base_ack = opened[0][4]
+        transport = cls(
+            clock=WallClock(scale=float(base_ack["time_scale"])), ack=base_ack
+        )
+        n_servers = int(base_ack["n_servers"])
+        for endpoint, primary, reader, writer, ack in opened:
+            link = _Link(
+                transport,
+                reader,
+                writer,
+                version=int(ack.get("proto", PROTOCOL_VERSION)),
+                endpoint=endpoint,
+                primary=primary,
+            )
+            transport._links.append(link)
+            transport._endpoint_links.setdefault(endpoint, []).append(link)
+            if primary:
+                # An old server's ack has no workers list: it hosts all.
+                workers = ack.get("workers")
+                if workers is None:
+                    workers = list(range(n_servers))
+                transport._endpoint_workers[endpoint] = frozenset(
+                    int(w) for w in workers
+                )
+                transport._rr[endpoint] = 0
+                transport._stats_waiters[endpoint] = []
+        for endpoint, workers in transport._endpoint_workers.items():
+            for worker_id in workers:
+                transport._worker_links[worker_id] = transport._endpoint_links[
+                    endpoint
+                ]
+        return transport
+
+    @staticmethod
+    def _validate_acks(
+        endpoints: _t.Sequence[Endpoint],
+        acks: _t.Sequence[_t.Dict[str, _t.Any]],
+        pool: int,
+    ) -> None:
+        base = acks[0]
+        for index, ack in enumerate(acks):
+            for field in (
+                "n_servers",
+                "cores_per_server",
+                "per_core_rate",
+                "time_scale",
+                "scenario",
+                "seed",
+            ):
+                if ack.get(field) != base.get(field):
+                    endpoint = endpoints[index // pool]
+                    raise LiveTransportError(
+                        f"cluster endpoints disagree on {field}: "
+                        f"{endpoint} says {ack.get(field)!r}, "
+                        f"{endpoints[0]} says {base.get(field)!r}"
+                    )
+        n_servers = int(base.get("n_servers", 0))
+        owner: _t.Dict[int, Endpoint] = {}
+        for index in range(0, len(acks), pool):
+            endpoint = endpoints[index // pool]
+            workers = acks[index].get("workers")
+            if workers is None:
+                workers = list(range(n_servers))
+            for worker_id in workers:
+                worker_id = int(worker_id)
+                if worker_id in owner:
+                    raise LiveTransportError(
+                        f"worker {worker_id} claimed by both {owner[worker_id]} "
+                        f"and {endpoint}"
+                    )
+                owner[worker_id] = endpoint
+        missing = sorted(set(range(n_servers)) - set(owner))
+        if missing:
+            raise LiveTransportError(
+                f"no endpoint hosts workers {missing}; the endpoint list does "
+                "not cover the cluster"
+            )
 
     # -- Transport protocol ---------------------------------------------------
     def register(
@@ -128,72 +343,110 @@ class LiveTransport:
 
     # -- data path ------------------------------------------------------------
     def _send_op(self, worker_id: int, request: "RequestMessage") -> None:
+        links = self._worker_links.get(worker_id)
+        if links is None:
+            raise LiveTransportError(
+                f"op addressed to worker {worker_id}, which no endpoint hosts"
+            )
+        if len(links) == 1:
+            link = links[0]
+        else:
+            endpoint = links[0].endpoint
+            index = self._rr[endpoint]
+            self._rr[endpoint] = (index + 1) % len(links)
+            link = links[index]
         rid = self._next_rid
-        self._next_rid += 1
+        self._next_rid = (rid + 1) & _RID_MASK
         self._pending[rid] = request
         self.ops_sent += 1
-        self._enqueue(
-            {
-                "t": "op",
-                "rid": rid,
-                "server": worker_id,
-                "key": request.op.key,
-                "size": request.op.value_size,
-                "prio": priority_to_wire(request.priority),
-            }
-        )
-
-    def _enqueue(self, frame: _t.Mapping[str, _t.Any]) -> None:
-        self._outbox.put_nowait(encode_frame(frame))
-
-    def admin(self, frame: _t.Mapping[str, _t.Any]) -> None:
-        """Send one admin frame (fault injection, stats requests)."""
-        if frame.get("t") != "admin":
-            raise ValueError("admin frames must have t='admin'")
-        self._enqueue(frame)
-
-    async def fetch_stats(self) -> _t.Dict[str, _t.Any]:
-        """Request the server's stats frame and await it."""
-        future: "asyncio.Future[_t.Dict[str, _t.Any]]" = (
-            asyncio.get_running_loop().create_future()
-        )
-        self._stats_waiters.append(future)
-        self.admin({"t": "admin", "cmd": "stats"})
-        return await future
-
-    # -- loops ---------------------------------------------------------------
-    async def _send_loop(self) -> None:
-        try:
-            while True:
-                data = await self._outbox.get()
-                self._writer.write(data)
-                await self._writer.drain()
-        except asyncio.CancelledError:
-            pass
-        except ConnectionError as exc:
-            self._fail(LiveTransportError(f"connection lost while sending: {exc}"))
-
-    async def _read_loop(self) -> None:
-        try:
-            while True:
-                frame = await read_frame(self._reader)
-                if frame is None:
-                    self._fail(LiveTransportError("server closed the connection"))
-                    return
-                self._handle_frame(frame)
-        except asyncio.CancelledError:
-            pass
-        except (ProtocolError, ConnectionError) as exc:
-            self._fail(LiveTransportError(f"live connection failed: {exc}"))
-        except Exception as exc:
-            # Anything else (a malformed frame field, a client-callback
-            # bug) must kill the run loudly -- a silently-dead read loop
-            # would stall the driver until its wall timeout.
-            self._fail(
-                LiveTransportError(f"live transport crashed handling a frame: {exc}")
+        codec = link.codec
+        if codec is BINARY_CODEC:
+            # Hot path: struct-pack the op without building the frame dict.
+            link.out.send(
+                codec.encode_op(
+                    rid,
+                    worker_id,
+                    request.op.key,
+                    request.op.value_size,
+                    request.priority,
+                )
+            )
+        else:
+            link.send_frame(
+                {
+                    "t": "op",
+                    "rid": rid,
+                    "server": worker_id,
+                    "key": request.op.key,
+                    "size": request.op.value_size,
+                    "prio": priority_to_wire(request.priority),
+                }
             )
 
-    def _handle_frame(self, frame: _t.Dict[str, _t.Any]) -> None:
+    def admin(self, frame: _t.Mapping[str, _t.Any]) -> None:
+        """Fan one admin frame out to the endpoints it concerns.
+
+        A frame with a ``servers`` target list goes only to the endpoints
+        owning those workers, trimmed to each one's subset; a frame
+        without one (stats, jitter, clear-jitter) goes to every endpoint.
+        """
+        if frame.get("t") != "admin":
+            raise ValueError("admin frames must have t='admin'")
+        servers = frame.get("servers")
+        for endpoint, links in self._endpoint_links.items():
+            if servers is None:
+                links[0].send_frame(frame)
+                continue
+            owned = self._endpoint_workers[endpoint]
+            local = [s for s in servers if int(s) in owned]
+            if not local:
+                continue
+            trimmed = dict(frame)
+            trimmed["servers"] = local
+            links[0].send_frame(trimmed)
+
+    async def fetch_stats(self) -> _t.Dict[str, _t.Any]:
+        """Request every endpoint's stats frame and merge the replies."""
+        loop = asyncio.get_running_loop()
+        futures: _t.List["asyncio.Future[_t.Dict[str, _t.Any]]"] = []
+        for endpoint in self._endpoint_links:
+            future: "asyncio.Future[_t.Dict[str, _t.Any]]" = loop.create_future()
+            self._stats_waiters[endpoint].append(future)
+            futures.append(future)
+        self.admin({"t": "admin", "cmd": "stats"})
+        replies = await asyncio.gather(*futures)
+        return self._merge_stats(replies)
+
+    @staticmethod
+    def _merge_stats(
+        replies: _t.Sequence[_t.Dict[str, _t.Any]]
+    ) -> _t.Dict[str, _t.Any]:
+        if len(replies) == 1:
+            return dict(replies[0])
+        merged: _t.Dict[str, _t.Any] = {"t": "stats"}
+        for key in (
+            "completed",
+            "rejected",
+            "frames_received",
+            "frames_sent",
+            "bytes_sent",
+            "writes",
+        ):
+            if any(key in reply for reply in replies):
+                merged[key] = sum(reply.get(key, 0) for reply in replies)
+        # Model clocks start at each process's serving start; report the
+        # cluster's as the furthest one along.
+        merged["uptime_model_s"] = max(
+            float(reply.get("uptime_model_s", 0.0)) for reply in replies
+        )
+        merged["workers"] = sorted(
+            (worker for reply in replies for worker in reply.get("workers", [])),
+            key=lambda worker: worker.get("worker", 0),
+        )
+        return merged
+
+    # -- inbound frames -------------------------------------------------------
+    def _handle_frame(self, link: _Link, frame: _t.Dict[str, _t.Any]) -> None:
         kind = frame.get("t")
         if kind == "res":
             self._handle_result(frame)
@@ -209,8 +462,9 @@ class LiveTransport:
                     )
                 )
         elif kind == "stats":
-            if self._stats_waiters:
-                future = self._stats_waiters.pop(0)
+            waiters = self._stats_waiters.get(link.endpoint)
+            if waiters:
+                future = waiters.pop(0)
                 if not future.done():
                     future.set_result(frame)
         elif kind == "admin-ack":
@@ -267,25 +521,30 @@ class LiveTransport:
     def pending_ops(self) -> int:
         return len(self._pending)
 
+    @property
+    def links(self) -> int:
+        """Open connection count (endpoints x pool)."""
+        return len(self._links)
+
+    def io_counters(self) -> _t.Dict[str, int]:
+        """Client-side send totals across all links (the syscall ledger)."""
+        return {
+            "frames_sent": sum(link.out.frames_sent for link in self._links),
+            "bytes_sent": sum(link.out.bytes_sent for link in self._links),
+            "writes": sum(link.out.writes for link in self._links),
+            "frames_received": sum(
+                link.stream.frames_read for link in self._links
+            ),
+        }
+
     async def close(self) -> None:
-        # Give the sender a moment to flush queued frames (teardown sends
-        # fault-revert admin commands that must reach the server).
-        deadline = asyncio.get_running_loop().time() + 1.0
-        while (
-            not self._outbox.empty()
-            and not self.failed.done()
-            and asyncio.get_running_loop().time() < deadline
-        ):
-            await asyncio.sleep(0.01)
-        for task in self._tasks:
-            task.cancel()
-        # Swallow the failure if nobody awaited it (normal teardown).
+        # Flush queued frames first (teardown sends fault-revert admin
+        # commands that must reach the server) -- unless the transport
+        # already failed, in which case there is nobody left to flush to.
+        flush = not self.failed.done()
         if not self.failed.done():
             self.failed.cancel()
         else:
-            self.failed.exception()
-        try:
-            self._writer.close()
-            await self._writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+            self.failed.exception()  # consume for GC hygiene
+        for link in self._links:
+            await link.close(flush=flush)

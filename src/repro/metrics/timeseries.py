@@ -8,6 +8,7 @@ All timestamps are virtual time from the simulation clock.
 from __future__ import annotations
 
 import bisect
+import math
 import typing as _t
 
 
@@ -83,6 +84,12 @@ class WindowedRate:
             raise ValueError("time went backwards")
         self._events.append((time, weight))
         self._weight_sum += weight
+        # Amortized eviction: a hot recorder queried rarely (a saturated
+        # live worker's arrival rate between congestion checks) must not
+        # accumulate the whole run in memory.  Evicting against the
+        # latest recorded time never changes a later query's answer.
+        if len(self._events) >= 4096:
+            self._evict(time)
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window
@@ -134,8 +141,6 @@ class EwmaEstimator:
             dt = time - self._last_time
             if dt < 0:
                 raise ValueError("time went backwards")
-            import math
-
             alpha = 1.0 - math.exp(-dt / self.time_constant)
             self._value += alpha * (sample - self._value)
         self._last_time = time

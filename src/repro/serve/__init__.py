@@ -2,17 +2,26 @@
 
 The real-time counterpart of the simulated backend tier: the same cluster
 shape, calibrated service times and queue feedback, served over TCP with
-a length-prefixed JSON protocol.  Drive it with :mod:`repro.loadgen`
-(``repro loadgen`` / ``repro compare``) or start it standalone with
-``repro serve``.
+a length-prefixed frame protocol (v1 JSON, v2 binary -- negotiated per
+connection).  One process hosts all workers by default; ``repro serve
+--procs N`` splits the cluster across processes via
+:class:`~repro.serve.supervisor.ServeSupervisor`.  Drive it with
+:mod:`repro.loadgen` (``repro loadgen`` / ``repro compare``) or start it
+standalone with ``repro serve``.
 """
 
+from .codec import BINARY_CODEC, JSON_CODEC, BinaryCodec, JsonCodec, codec_for
 from .protocol import (
     MAX_FRAME_BYTES,
+    MAX_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    BatchWriter,
+    FrameStream,
     ProtocolError,
     encode_frame,
     error_frame,
+    hello_frame,
+    negotiate_version,
     priority_from_wire,
     priority_to_wire,
     read_frame,
@@ -22,24 +31,38 @@ from .server import (
     DEFAULT_PORT,
     DEFAULT_TIME_SCALE,
     LiveServer,
+    install_uvloop,
     run_server,
 )
+from .supervisor import ServeSupervisor
 from .workers import DEFAULT_MAX_QUEUE, LiveJob, LiveWorker, QueueFullError
 
 __all__ = [
+    "BINARY_CODEC",
+    "BatchWriter",
+    "BinaryCodec",
     "DEFAULT_HOST",
     "DEFAULT_MAX_QUEUE",
     "DEFAULT_PORT",
     "DEFAULT_TIME_SCALE",
+    "FrameStream",
+    "JSON_CODEC",
+    "JsonCodec",
     "LiveJob",
     "LiveServer",
     "LiveWorker",
     "MAX_FRAME_BYTES",
+    "MAX_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueueFullError",
+    "ServeSupervisor",
+    "codec_for",
     "encode_frame",
     "error_frame",
+    "hello_frame",
+    "install_uvloop",
+    "negotiate_version",
     "priority_from_wire",
     "priority_to_wire",
     "read_frame",

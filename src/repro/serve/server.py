@@ -1,14 +1,23 @@
 """The live multiget KV service: an asyncio frontend over live workers.
 
-:class:`LiveServer` binds a TCP socket and serves the length-prefixed JSON
-protocol of :mod:`repro.serve.protocol`.  Behind the frontend sit
-``n_servers`` :class:`~repro.serve.workers.LiveWorker` instances -- the
-wall-clock analogue of the simulated backend tier, with the same cluster
-shape, the same calibrated service-time model and the same queue-state
-feedback on every response.  The server is strategy-agnostic by design:
-replica choice, priorities and pacing all happen client-side (in
-:mod:`repro.loadgen`), exactly as in the simulation, so one running server
-can be driven by any registered strategy.
+:class:`LiveServer` binds a TCP socket and serves the length-prefixed
+frame protocol of :mod:`repro.serve.protocol` -- every connection starts
+in v1 JSON and may negotiate up to the v2 binary codec in the handshake.
+Behind the frontend sit :class:`~repro.serve.workers.LiveWorker`
+instances -- the wall-clock analogue of the simulated backend tier, with
+the same cluster shape, the same calibrated service-time model and the
+same queue-state feedback on every response.  The server is
+strategy-agnostic by design: replica choice, priorities and pacing all
+happen client-side (in :mod:`repro.loadgen`), exactly as in the
+simulation, so one running server can be driven by any registered
+strategy.
+
+One :class:`LiveServer` can host a *subset* of the cluster's workers
+(``worker_ids``): that is how the multi-process supervisor
+(:mod:`repro.serve.supervisor`) splits one logical cluster across
+processes -- each process serves its shard group on its own port and
+advertises its ``workers`` in the ``hello-ack``, and clients route ops
+by worker id.
 
 Fault injection arrives over the wire: ``admin`` frames throttle, crash,
 restart or jitter individual workers, which is how the load generator maps
@@ -18,6 +27,8 @@ scenario fault schedules onto the live backend.
 from __future__ import annotations
 
 import asyncio
+import os
+import sys
 import typing as _t
 
 from ..cluster.server import congestion_ratio
@@ -25,13 +36,14 @@ from ..cluster.topology import ClusterSpec
 from ..core.clock import WallClock
 from ..sim.rng import StreamFactory
 from ..workload.calibration import ServiceTimeModel
+from .codec import BINARY_CODEC, JSON_CODEC, codec_for
 from .protocol import (
-    PROTOCOL_VERSION,
+    BatchWriter,
+    FrameStream,
     ProtocolError,
-    encode_frame,
     error_frame,
+    negotiate_version,
     priority_from_wire,
-    read_frame,
 )
 from .workers import DEFAULT_MAX_QUEUE, LiveJob, LiveWorker, QueueFullError
 
@@ -49,8 +61,30 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7411
 
 
+def install_uvloop() -> bool:
+    """Install uvloop's event-loop policy when the package is available.
+
+    Purely optional: the stock asyncio loop is the tested baseline, and
+    the container this repo grows in does not ship uvloop.  Returns
+    whether the policy was installed.
+    """
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
 class _Connection:
-    """One client connection: a reader loop plus a serialized outbox."""
+    """One client connection: a framed reader plus a coalescing outbox.
+
+    ``codec`` starts as v1 JSON and is switched (together with the frame
+    stream's) when the handshake negotiates v2.  ``congestion`` records
+    the client's opt-in to congestion broadcasts -- pool connections
+    beyond an endpoint's first opt out so the credits controller sees
+    each signal once.
+    """
 
     def __init__(
         self,
@@ -59,43 +93,17 @@ class _Connection:
         writer: asyncio.StreamWriter,
     ) -> None:
         self.server = server
-        self.reader = reader
-        self.writer = writer
-        self._outbox: "asyncio.Queue[bytes]" = asyncio.Queue()
-        self._sender = asyncio.get_running_loop().create_task(self._send_loop())
-        self.closed = False
+        self.stream = FrameStream(reader, JSON_CODEC)
+        self.out = BatchWriter(writer)
+        self.codec: _t.Any = JSON_CODEC
+        self.congestion = True
 
     def send(self, frame: _t.Mapping[str, _t.Any]) -> None:
         """Queue one frame for delivery (safe from worker callbacks)."""
-        if not self.closed:
-            self._outbox.put_nowait(encode_frame(frame))
-
-    async def _send_loop(self) -> None:
-        try:
-            while True:
-                data = await self._outbox.get()
-                self.writer.write(data)
-                await self.writer.drain()
-        except (asyncio.CancelledError, ConnectionError):
-            pass
+        self.out.send(self.codec.encode(frame))
 
     async def close(self) -> None:
-        self.closed = True
-        # Flush queued frames first: the reply explaining *why* the
-        # connection is closing (an error frame after a protocol
-        # violation) must actually reach the peer.
-        deadline = asyncio.get_running_loop().time() + 1.0
-        while (
-            not self._outbox.empty()
-            and asyncio.get_running_loop().time() < deadline
-        ):
-            await asyncio.sleep(0.01)
-        self._sender.cancel()
-        try:
-            self.writer.close()
-            await self.writer.wait_closed()
-        except (ConnectionError, OSError):  # peer already gone
-            pass
+        await self.out.close()
 
 
 class LiveServer:
@@ -113,6 +121,8 @@ class LiveServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        worker_ids: _t.Optional[_t.Sequence[int]] = None,
+        stats_interval: _t.Optional[float] = None,
     ) -> None:
         self.cluster = cluster
         self.service_model = service_model
@@ -123,13 +133,31 @@ class LiveServer:
         self.max_queue = int(max_queue)
         self.host = host
         self.port = int(port)
+        if worker_ids is None:
+            worker_ids = range(cluster.n_servers)
+        self.worker_ids: _t.Tuple[int, ...] = tuple(
+            sorted(int(i) for i in worker_ids)
+        )
+        for worker_id in self.worker_ids:
+            if not (0 <= worker_id < cluster.n_servers):
+                raise ValueError(
+                    f"worker id {worker_id} outside the cluster "
+                    f"(n_servers={cluster.n_servers})"
+                )
+        self.stats_interval = (
+            float(stats_interval) if stats_interval else None
+        )
         self.clock = WallClock(scale=time_scale)
-        self.workers: _t.List[LiveWorker] = []
+        self.workers: _t.Dict[int, LiveWorker] = {}
         self.connections: _t.List[_Connection] = []
         self.frames_received = 0
         self.congestion_frames_sent = 0
+        #: I/O totals of connections that already closed (open connections
+        #: are summed live in :meth:`io_counters`).
+        self._closed_io = {"frames_sent": 0, "bytes_sent": 0, "writes": 0}
         self._server: _t.Optional[asyncio.AbstractServer] = None
         self._monitors: _t.List["asyncio.Task[None]"] = []
+        self._stats_task: _t.Optional["asyncio.Task[None]"] = None
 
     @classmethod
     def from_config(
@@ -140,6 +168,8 @@ class LiveServer:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        worker_ids: _t.Optional[_t.Sequence[int]] = None,
+        stats_interval: _t.Optional[float] = None,
     ) -> "LiveServer":
         """A server matching one experiment config's backend tier."""
         return cls(
@@ -152,6 +182,8 @@ class LiveServer:
             host=host,
             port=port,
             max_queue=max_queue,
+            worker_ids=worker_ids,
+            stats_interval=stats_interval,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -159,8 +191,10 @@ class LiveServer:
         """Bind the socket and start workers (port 0 picks an ephemeral one)."""
         streams = StreamFactory(self.seed)
         self.clock = WallClock(scale=self.clock.scale)  # t0 = serving start
-        self.workers = [
-            LiveWorker(
+        # Streams are keyed by *global* worker id, so a worker behaves
+        # identically whether its cluster runs in one process or many.
+        self.workers = {
+            worker_id: LiveWorker(
                 clock=self.clock,
                 worker_id=worker_id,
                 cores=self.cluster.cores_per_server,
@@ -168,15 +202,19 @@ class LiveServer:
                 service_stream=streams.stream(f"service.{worker_id}"),
                 max_queue=self.max_queue,
             )
-            for worker_id in range(self.cluster.n_servers)
-        ]
+            for worker_id in self.worker_ids
+        }
         self._monitors = [
             asyncio.get_running_loop().create_task(
                 self._congestion_monitor(worker),
                 name=f"live-monitor.{worker.worker_id}",
             )
-            for worker in self.workers
+            for worker in self.workers.values()
         ]
+        if self.stats_interval:
+            self._stats_task = asyncio.get_running_loop().create_task(
+                self._stats_loop(), name="live-stats"
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -190,7 +228,10 @@ class LiveServer:
         for monitor in self._monitors:
             monitor.cancel()
         self._monitors = []
-        for worker in self.workers:
+        if self._stats_task is not None:
+            self._stats_task.cancel()
+            self._stats_task = None
+        for worker in self.workers.values():
             worker.shutdown()
         for connection in list(self.connections):
             await connection.close()
@@ -209,7 +250,7 @@ class LiveServer:
         try:
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    frame = await connection.stream.read_frame()
                 except ConnectionError:
                     break  # peer vanished mid-read; nothing left to answer
                 except ProtocolError as exc:
@@ -228,6 +269,8 @@ class LiveServer:
         finally:
             if connection in self.connections:
                 self.connections.remove(connection)
+            for key in self._closed_io:
+                self._closed_io[key] += getattr(connection.out, key)
             await connection.close()
 
     def _dispatch(
@@ -254,7 +297,8 @@ class LiveServer:
             size = int(frame["size"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"bad op frame: {exc}") from exc
-        if not (0 <= worker_id < len(self.workers)):
+        worker = self.workers.get(worker_id)
+        if worker is None:
             raise ProtocolError(f"op addressed to unknown worker {worker_id}")
         if size <= 0:
             raise ProtocolError(f"op {rid} has non-positive value size {size}")
@@ -267,22 +311,39 @@ class LiveServer:
         def respond(
             worker: LiveWorker, job: LiveJob, queue_wait: float, service: float
         ) -> None:
-            connection.send(
-                {
-                    "t": "res",
-                    "rid": job.rid,
-                    "server": worker.worker_id,
-                    "queue_wait": queue_wait,
-                    "service": service,
-                    "fb": worker.feedback(),
-                }
-            )
+            codec = connection.codec
+            if codec is BINARY_CODEC:
+                # Hot path: struct-pack the response without building the
+                # frame dict (the dominant server-side send).
+                fb = worker.feedback()
+                connection.out.send(
+                    codec.encode_res(
+                        job.rid,
+                        worker.worker_id,
+                        queue_wait,
+                        service,
+                        fb["q"],
+                        fb["s"],
+                        fb["ew"],
+                    )
+                )
+            else:
+                connection.send(
+                    {
+                        "t": "res",
+                        "rid": job.rid,
+                        "server": worker.worker_id,
+                        "queue_wait": queue_wait,
+                        "service": service,
+                        "fb": worker.feedback(),
+                    }
+                )
 
         job = LiveJob(
             rid=rid, key=key, value_size=size, priority=priority, respond=respond
         )
         try:
-            self.workers[worker_id].submit(job)
+            worker.submit(job)
         except QueueFullError as exc:
             connection.send(
                 {"t": "error", "error": str(exc), "rid": rid, "server": worker_id}
@@ -292,36 +353,51 @@ class LiveServer:
     def _handle_hello(
         self, connection: _Connection, frame: _t.Dict[str, _t.Any]
     ) -> None:
-        if frame.get("proto") != PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"protocol version mismatch: client {frame.get('proto')!r}, "
-                f"server {PROTOCOL_VERSION}"
-            )
+        version = negotiate_version(frame)
+        connection.congestion = frame.get("congestion", True) is not False
         connection.send(
             {
                 "t": "hello-ack",
-                "proto": PROTOCOL_VERSION,
+                "proto": version,
                 "n_servers": self.cluster.n_servers,
                 "cores_per_server": self.cluster.cores_per_server,
                 "per_core_rate": self.cluster.per_core_rate,
                 "time_scale": self.clock.scale,
                 "scenario": self.scenario,
                 "seed": self.seed,
+                "workers": list(self.worker_ids),
             }
         )
+        # The ack itself travels in v1 (encoded above); everything after
+        # it speaks the negotiated codec, in both directions.
+        codec = codec_for(version)
+        connection.codec = codec
+        connection.stream.codec = codec
 
     def _admin_targets(self, frame: _t.Dict[str, _t.Any]) -> _t.List[LiveWorker]:
         raw = frame.get("servers")
         if raw is None:
-            return list(self.workers)
+            return list(self.workers.values())
         try:
             ids = [int(s) for s in raw]
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"bad admin target list {raw!r}") from exc
         for worker_id in ids:
-            if not (0 <= worker_id < len(self.workers)):
+            if worker_id not in self.workers:
                 raise ProtocolError(f"admin targets unknown worker {worker_id}")
         return [self.workers[i] for i in ids]
+
+    def io_counters(self) -> _t.Dict[str, int]:
+        """Cumulative send-side I/O totals (closed + open connections).
+
+        ``writes`` vs ``frames_sent`` is the syscall-batching ratio the
+        performance book reports.
+        """
+        totals = dict(self._closed_io)
+        for connection in self.connections:
+            for key in totals:
+                totals[key] += getattr(connection.out, key)
+        return totals
 
     def _handle_admin(
         self, connection: _Connection, frame: _t.Dict[str, _t.Any]
@@ -351,16 +427,19 @@ class LiveServer:
             for worker in targets:
                 worker.set_jitter(0.0, 0.0)
         elif command == "stats":
-            connection.send(
-                {
-                    "t": "stats",
-                    "completed": sum(w.completed for w in self.workers),
-                    "rejected": sum(w.rejected for w in self.workers),
-                    "frames_received": self.frames_received,
-                    "uptime_model_s": self.clock.now,
-                    "workers": [w.stats() for w in self.workers],
-                }
-            )
+            workers = [
+                self.workers[i].stats() for i in self.worker_ids
+            ]
+            frame_out = {
+                "t": "stats",
+                "completed": sum(w.completed for w in self.workers.values()),
+                "rejected": sum(w.rejected for w in self.workers.values()),
+                "frames_received": self.frames_received,
+                "uptime_model_s": self.clock.now,
+                "workers": workers,
+            }
+            frame_out.update(self.io_counters())
+            connection.send(frame_out)
             return
         else:
             raise ProtocolError(f"unknown admin command {command!r}")
@@ -369,7 +448,8 @@ class LiveServer:
     # -- congestion ---------------------------------------------------------------
     async def _congestion_monitor(self, worker: LiveWorker) -> None:
         """Mirror of the simulated congestion monitor: offered load plus
-        backlog against capacity, a frame to every client when overloaded."""
+        backlog against capacity, a frame to every opted-in client when
+        overloaded."""
         interval = self.congestion_interval
         while True:
             await self.clock.sleep(interval)
@@ -386,8 +466,45 @@ class LiveServer:
                     "ratio": ratio,
                 }
                 for connection in self.connections:
-                    connection.send(frame)
-                    self.congestion_frames_sent += 1
+                    if connection.congestion:
+                        connection.send(frame)
+                        self.congestion_frames_sent += 1
+
+    # -- periodic stats -----------------------------------------------------------
+    async def _stats_loop(self) -> None:
+        """One stderr line per interval: per-worker queue depth and ops/s.
+
+        The first brick of the streamed-metrics roadmap item, and the
+        practical way to see what each process of a multi-process cluster
+        is doing while a run hammers it.
+        """
+        assert self.stats_interval is not None
+        loop = asyncio.get_running_loop()
+        last_completed = {i: w.completed for i, w in self.workers.items()}
+        last_time = loop.time()
+        pid = os.getpid()
+        while True:
+            await asyncio.sleep(self.stats_interval)
+            now = loop.time()
+            elapsed = max(now - last_time, 1e-9)
+            deltas = {
+                i: w.completed - last_completed[i]
+                for i, w in self.workers.items()
+            }
+            total_rate = sum(deltas.values()) / elapsed
+            per_worker = " ".join(
+                f"w{i}:q={self.workers[i].queue_length()}"
+                f",ops/s={deltas[i] / elapsed:.0f}"
+                for i in self.worker_ids
+            )
+            print(
+                f"[repro-serve pid={pid}] ops/s={total_rate:.0f} "
+                f"conns={len(self.connections)} {per_worker}",
+                file=sys.stderr,
+                flush=True,
+            )
+            last_completed = {i: w.completed for i, w in self.workers.items()}
+            last_time = now
 
 
 async def run_server(
@@ -397,6 +514,8 @@ async def run_server(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     ready: _t.Optional[_t.Callable[[LiveServer], None]] = None,
+    worker_ids: _t.Optional[_t.Sequence[int]] = None,
+    stats_interval: _t.Optional[float] = None,
 ) -> None:
     """Start a server from a config and serve until cancelled.
 
@@ -404,7 +523,13 @@ async def run_server(
     the CLI prints the endpoint, tests grab the ephemeral port.
     """
     server = LiveServer.from_config(
-        config, time_scale=time_scale, seed=seed, host=host, port=port
+        config,
+        time_scale=time_scale,
+        seed=seed,
+        host=host,
+        port=port,
+        worker_ids=worker_ids,
+        stats_interval=stats_interval,
     )
     await server.start()
     if ready is not None:

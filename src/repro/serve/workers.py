@@ -1,12 +1,22 @@
-"""Live backend workers: bounded priority queues drained by asyncio cores.
+"""Live backend workers: bounded priority queues drained by a core pump.
 
 A :class:`LiveWorker` is the wall-clock analogue of the simulation's
 :class:`~repro.cluster.server.BackendServer`: requests land in a bounded
-priority queue (smaller priority tuple first, FIFO within a priority), and
-``cores`` concurrent asyncio tasks drain it, each holding a request for a
+priority queue (smaller priority tuple first, FIFO within a priority),
+``cores`` of them may be in service at once, and each is held for a
 *calibrated* service time (the same value-size-dependent
 :class:`~repro.workload.calibration.ServiceTimeModel` the simulation
 samples, stretched by the clock's time scale).
+
+Rather than one asyncio task per core each awaiting its own
+``asyncio.sleep`` -- which costs a timer-heap entry and an event-loop
+wakeup per request, and at small time scales runs into epoll's
+millisecond rounding -- a single *pump* task per worker keeps a due-time
+heap of in-service requests and sleeps until the earliest one finishes.
+One wakeup then completes every request due by that instant, so the
+timer cost is amortized across the batch; this is what lets the firehose
+benchmark drive tens of thousands of ops per second through a worker
+whose emulated service times are microseconds of wall time.
 
 Fault hooks mirror the simulated fault injector one-for-one so scenario
 fault schedules replay against live workers:
@@ -24,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import time
 import typing as _t
 from itertools import count
 
@@ -96,10 +107,11 @@ class LiveWorker:
         self.max_queue = int(max_queue)
         self._heap: _t.List[_t.Tuple[_t.Tuple[float, ...], int, LiveJob]] = []
         self._seq = count()
-        self._item_available = asyncio.Event()
-        #: Crash gate: set while running, cleared while crashed.
-        self._running = asyncio.Event()
-        self._running.set()
+        #: In-service requests: (wall due time, seq, job, model start time).
+        self._due: _t.List[_t.Tuple[float, int, LiveJob, float]] = []
+        #: Set whenever the pump may have new work to admit (a submitted
+        #: job, a closed crash window).
+        self._wakeup = asyncio.Event()
         self._pause_depth = 0
         #: Service-time multiplier; >1 while throttled by a fault.
         self.speed_factor = 1.0
@@ -115,12 +127,11 @@ class LiveWorker:
         self.arrival_rate = WindowedRate(window=0.1)
         #: In-flight jittered responses (kept referenced until delivered).
         self._jitter_tasks: _t.Set["asyncio.Task[None]"] = set()
-        self._cores: _t.List["asyncio.Task[None]"] = [
+        self._pump_task: "asyncio.Task[None]" = (
             asyncio.get_running_loop().create_task(
-                self._core_loop(), name=f"live-worker{worker_id}.core{c}"
+                self._pump(), name=f"live-worker{worker_id}.pump"
             )
-            for c in range(self.cores)
-        ]
+        )
 
     # -- intake -------------------------------------------------------------
     def submit(self, job: LiveJob) -> None:
@@ -133,7 +144,7 @@ class LiveWorker:
         job.enqueued_at = self.clock.now
         self.arrival_rate.record(job.enqueued_at)
         heapq.heappush(self._heap, (job.priority, next(self._seq), job))
-        self._item_available.set()
+        self._wakeup.set()
 
     def queue_length(self) -> int:
         return len(self._heap)
@@ -175,14 +186,13 @@ class LiveWorker:
         """Crash: stop starting requests; the queue survives for resume()."""
         self._pause_depth += 1
         self.crashes += 1
-        self._running.clear()
 
     def resume(self) -> None:
         if self._pause_depth == 0:
             return
         self._pause_depth -= 1
         if self._pause_depth == 0:
-            self._running.set()
+            self._wakeup.set()
 
     @property
     def paused(self) -> bool:
@@ -196,51 +206,86 @@ class LiveWorker:
         self.jitter_sigma = float(sigma)
 
     # -- the service loop --------------------------------------------------------
-    async def _get(self) -> LiveJob:
-        while True:
-            if self._heap:
-                _, _, job = heapq.heappop(self._heap)
-                return job
-            self._item_available.clear()
-            await self._item_available.wait()
+    async def _pump(self) -> None:
+        """Admit queued jobs onto free cores, complete them when due.
 
-    async def _core_loop(self) -> None:
+        One task per worker; per pump wakeup it admits every admissible
+        job and completes every due one, so the per-request cost is heap
+        operations, not event-loop handles.
+        """
+        heap = self._heap
+        due = self._due
+        scale = self.clock.scale
         while True:
-            job = await self._get()
-            await self._running.wait()  # crashed: hold work until restart
-            self.in_service += 1
-            start = self.clock.now
-            duration = self.speed_factor * self.service_model.sample_time(
-                job.value_size, self.service_stream
-            )
-            await self.clock.sleep(duration)
-            end = self.clock.now
-            self.in_service -= 1
-            self.completed += 1
-            # Account the *actual* elapsed model time: on a wall clock the
-            # sleep can overshoot, and honest feedback must include that.
-            self.busy_time += end - start
-            self._ewma_service.update(end, end - start)
-            queue_wait = max(0.0, start - job.enqueued_at)
-            service = end - start
-            if self.jitter_mean > 0:
-                # Jitter models the *network*, not the server: delay the
-                # response off-core so capacity is untouched (matching the
-                # simulated NetworkJitterFault, which only delays messages).
-                delay = (
-                    self.service_stream.lognormal_mean(
-                        self.jitter_mean, self.jitter_sigma
+            if heap and self.in_service < self.cores and not self._pause_depth:
+                now_wall = time.monotonic()
+                start = self.clock.now  # one admission instant per wakeup
+                while heap and self.in_service < self.cores:
+                    _, _, job = heapq.heappop(heap)
+                    duration = self.speed_factor * self.service_model.sample_time(
+                        job.value_size, self.service_stream
                     )
-                    if self.jitter_sigma > 0
-                    else self.jitter_mean
+                    heapq.heappush(
+                        due,
+                        (now_wall + duration * scale, next(self._seq), job, start),
+                    )
+                    self.in_service += 1
+            if not due:
+                # Idle (or crashed with nothing in service): wait for a
+                # submit or a closed crash window.
+                self._wakeup.clear()
+                if heap and not self._pause_depth:
+                    continue  # submitted between the admission loop and here
+                await self._wakeup.wait()
+                continue
+            delay = due[0][0] - time.monotonic()
+            if delay > 0:
+                if self.in_service < self.cores:
+                    # A submit (or resume) could admit work mid-sleep, so
+                    # wait on whichever comes first.
+                    self._wakeup.clear()
+                    if heap and not self._pause_depth:
+                        continue
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), delay)
+                    except TimeoutError:
+                        pass
+                else:
+                    # Saturated: nothing to admit until a completion.
+                    await asyncio.sleep(delay)
+            now_wall = time.monotonic()
+            while due and due[0][0] <= now_wall:
+                _, _, job, start = heapq.heappop(due)
+                self._complete(job, start)
+
+    def _complete(self, job: LiveJob, start: float) -> None:
+        end = self.clock.now
+        self.in_service -= 1
+        self.completed += 1
+        # Account the *actual* elapsed model time: on a wall clock the
+        # sleep can overshoot, and honest feedback must include that.
+        service = end - start
+        self.busy_time += service
+        self._ewma_service.update(end, service)
+        queue_wait = max(0.0, start - job.enqueued_at)
+        if self.jitter_mean > 0:
+            # Jitter models the *network*, not the server: delay the
+            # response off-core so capacity is untouched (matching the
+            # simulated NetworkJitterFault, which only delays messages).
+            delay = (
+                self.service_stream.lognormal_mean(
+                    self.jitter_mean, self.jitter_sigma
                 )
-                task = asyncio.get_running_loop().create_task(
-                    self._respond_later(delay, job, queue_wait, service)
-                )
-                self._jitter_tasks.add(task)
-                task.add_done_callback(self._jitter_tasks.discard)
-            else:
-                job.respond(self, job, queue_wait, service)
+                if self.jitter_sigma > 0
+                else self.jitter_mean
+            )
+            task = asyncio.get_running_loop().create_task(
+                self._respond_later(delay, job, queue_wait, service)
+            )
+            self._jitter_tasks.add(task)
+            task.add_done_callback(self._jitter_tasks.discard)
+        else:
+            job.respond(self, job, queue_wait, service)
 
     async def _respond_later(
         self, delay: float, job: LiveJob, queue_wait: float, service: float
@@ -261,6 +306,6 @@ class LiveWorker:
         }
 
     def shutdown(self) -> None:
-        for task in list(self._cores) + list(self._jitter_tasks):
+        for task in [self._pump_task] + list(self._jitter_tasks):
             if not task.done():
                 task.cancel()

@@ -1,0 +1,192 @@
+"""Version interop and the multi-process cluster path.
+
+The binary codec is an *optional* negotiation: a v1-only client speaking
+plain JSON frames must keep working against a v2-capable server, and a
+capped client must pin the whole connection to JSON.  The supervisor
+tests fork real server processes and drive them through the pooled
+transport and the firehose -- the smallest end-to-end exercise of every
+tentpole layer (fork, ephemeral ports, worker sharding, negotiation,
+pipelining).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.addresses import derive_endpoints, worker_groups
+from repro.loadgen import run_firehose, run_live
+from repro.scenarios import get_scenario
+from repro.serve import LiveServer, ServeSupervisor
+from repro.serve.protocol import encode_frame, read_frame
+
+TIME_SCALE = 2.0
+
+
+def steady_config(n_tasks=120, **overrides):
+    return get_scenario("steady-state").build_config(
+        strategy="unifincr-credits", n_tasks=n_tasks, **overrides
+    )
+
+
+class TestWorkerGroups:
+    def test_even_split(self):
+        assert worker_groups(9, 3) == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    def test_remainder_goes_to_the_first_groups(self):
+        assert worker_groups(9, 2) == [[0, 1, 2, 3, 4], [5, 6, 7, 8]]
+        assert worker_groups(5, 4) == [[0, 1], [2], [3], [4]]
+
+    def test_groups_partition_the_workers(self):
+        for n_servers in (1, 2, 7, 9, 16):
+            for procs in range(1, n_servers + 1):
+                groups = worker_groups(n_servers, procs)
+                assert len(groups) == procs
+                flat = [w for group in groups for w in group]
+                assert flat == list(range(n_servers))
+                sizes = {len(g) for g in groups}
+                assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("n_servers, procs", [(3, 4), (0, 1), (3, 0), (1, -1)])
+    def test_bad_shapes_rejected(self, n_servers, procs):
+        with pytest.raises(ValueError):
+            worker_groups(n_servers, procs)
+
+    def test_derive_endpoints(self):
+        assert derive_endpoints("h", 7411, 3) == [
+            ("h", 7411),
+            ("h", 7412),
+            ("h", 7413),
+        ]
+        # Port 0 means "every process picks an ephemeral port".
+        assert derive_endpoints("h", 0, 2) == [("h", 0), ("h", 0)]
+        with pytest.raises(ValueError):
+            derive_endpoints("h", 7411, 0)
+
+
+class TestVersionInterop:
+    def test_v1_only_client_against_a_v2_server(self):
+        """A hand-rolled JSON client (no ``max_proto``) round-trips an op:
+        the server must never switch such a connection off v1."""
+
+        async def scenario():
+            config = steady_config(n_tasks=10)
+            server = LiveServer.from_config(config, time_scale=TIME_SCALE, port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(encode_frame({"t": "hello", "proto": 1}))
+                await writer.drain()
+                ack = await asyncio.wait_for(read_frame(reader), timeout=5)
+                writer.write(
+                    encode_frame(
+                        {
+                            "t": "op",
+                            "rid": 7,
+                            "server": 0,
+                            "key": 42,
+                            "size": 512,
+                            "prio": [1.0],
+                        }
+                    )
+                )
+                await writer.drain()
+                while True:
+                    frame = await asyncio.wait_for(read_frame(reader), timeout=10)
+                    if frame["t"] == "res":
+                        break
+                writer.close()
+                return ack, frame
+            finally:
+                await server.stop()
+
+        ack, res = asyncio.run(scenario())
+        assert ack["t"] == "hello-ack"
+        assert ack["proto"] == 1  # negotiated down to the client's max
+        assert res["rid"] == 7 and res["server"] == 0
+        assert {"q", "s", "ew"} <= set(res["fb"])
+
+    @pytest.mark.parametrize("protocol, negotiated", [(1, 1.0), (2, 2.0)])
+    def test_driver_negotiation_is_capped_by_the_client(self, protocol, negotiated):
+        """The full driver stack works identically on both codecs; the
+        negotiated version is recorded in the run extras."""
+
+        async def scenario():
+            config = steady_config(n_tasks=120)
+            server = LiveServer.from_config(config, time_scale=TIME_SCALE, port=0)
+            await server.start()
+            try:
+                return await run_live(
+                    config,
+                    host=server.host,
+                    port=server.port,
+                    protocol=protocol,
+                )
+            finally:
+                await server.stop()
+
+        result = asyncio.run(scenario())
+        assert result.tasks_completed == 120
+        assert result.extras["live_protocol"] == negotiated
+
+
+class TestMultiProcessCluster:
+    def test_supervisor_rejects_too_many_procs(self):
+        config = steady_config()
+        with pytest.raises(ValueError, match="cannot split"):
+            ServeSupervisor(config, procs=config.cluster.n_servers + 1)
+
+    def test_two_process_cluster_end_to_end(self):
+        """Fork a 2-process cluster, then drive it through both client
+        paths: the scheduling driver (pooled, binary) and the firehose."""
+        config = steady_config(n_tasks=150)
+        supervisor = ServeSupervisor(
+            config, procs=2, time_scale=TIME_SCALE, base_port=0
+        )
+        endpoints = supervisor.start()
+        try:
+            assert len(endpoints) == 2
+            assert supervisor.alive
+            groups = supervisor.groups
+            assert [w for g in groups for w in g] == list(
+                range(config.cluster.n_servers)
+            )
+
+            result = asyncio.run(
+                run_live(config, endpoints=endpoints, pool=2, protocol=2)
+            )
+            assert result.tasks_completed == 150
+            assert result.extras["live_protocol"] == 2.0
+            assert result.extras["live_links"] == 4.0  # 2 endpoints x pool 2
+
+            fire = asyncio.run(
+                run_firehose(
+                    endpoints, multigets=400, fanout=2, window=64, pool=2
+                )
+            )
+            assert fire.multigets == 400
+            assert fire.protocol == 2
+            assert 0 < fire.p99_ms < float("inf")
+            # Ops route by worker id; with sharded workers both server
+            # processes must have answered.
+            assert fire.server_io.get("completed", 0) >= 400 * 2
+        finally:
+            supervisor.stop()
+        assert not supervisor.alive
+
+    def test_single_endpoint_of_a_sharded_cluster_is_rejected(self):
+        """Connecting to only one process of a 2-process cluster cannot
+        cover the worker space; the transport must refuse loudly."""
+        from repro.loadgen import LiveTransportError
+
+        config = steady_config(n_tasks=50)
+        supervisor = ServeSupervisor(
+            config, procs=2, time_scale=TIME_SCALE, base_port=0
+        )
+        endpoints = supervisor.start()
+        try:
+            with pytest.raises(LiveTransportError, match="worker"):
+                asyncio.run(run_live(config, endpoints=endpoints[:1]))
+        finally:
+            supervisor.stop()

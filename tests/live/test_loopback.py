@@ -103,10 +103,12 @@ class TestGuards:
                 # The revert admin frames flush during transport close;
                 # give the server loop a moment to apply them.
                 for _ in range(100):
-                    if all(w.speed_factor == 1.0 for w in server.workers):
+                    if all(
+                        w.speed_factor == 1.0 for w in server.workers.values()
+                    ):
                         break
                     await asyncio.sleep(0.01)
-                return [w.speed_factor for w in server.workers]
+                return [w.speed_factor for w in server.workers.values()]
             finally:
                 await server.stop()
 
