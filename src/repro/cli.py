@@ -9,6 +9,7 @@ Commands
 ``figure2``    the headline evaluation across strategies and seeds
 ``serve``      start the live asyncio multiget KV service
 ``loadgen``    drive a live service with a scenario's workload + faults
+``watch``      poll a live cluster's metrics mid-run (admin plane)
 ``firehose``   saturate a live service (wire-path throughput ceiling)
 ``compare``    sim vs live differential for one scenario
 ``trace``      generate / inspect workload traces
@@ -65,6 +66,27 @@ def _executor_from(args: argparse.Namespace):
     return make_executor(jobs=args.jobs, cache_dir=args.cache)
 
 
+def _add_remediate_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--remediate", default=None,
+                   choices=("off", "monitor", "slo"),
+                   help="streamed-metrics mode: 'monitor' publishes bus "
+                        "snapshots and counts SLO breach windows; 'slo' also "
+                        "acts through the placement/credits/hedging levers "
+                        "(see docs/observability.md)")
+    p.add_argument("--slo-p99-ms", type=float, default=None, metavar="MS",
+                   help="windowed-p99 target (model ms) for the SLO breach "
+                        "detector (required with --remediate slo)")
+
+
+def _remediation_overrides(args: argparse.Namespace) -> _t.Dict[str, _t.Any]:
+    overrides: _t.Dict[str, _t.Any] = {}
+    if args.remediate is not None:
+        overrides["remediation"] = args.remediate
+    if args.slo_p99_ms is not None:
+        overrides["slo_p99_ms"] = args.slo_p99_ms
+    return overrides
+
+
 def _add_run(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser("run", help="run a single experiment")
     p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
@@ -80,6 +102,7 @@ def _add_run(subparsers: argparse._SubParsersAction) -> None:
                    help="mean requests per task")
     p.add_argument("--slow-server", type=int, default=None,
                    help="inject a 3x slowdown on this server id")
+    _add_remediate_flags(p)
     _add_parallel_flags(p)
     p.set_defaults(func=_cmd_run)
 
@@ -92,14 +115,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["mean_fanout"] = args.fanout
     if args.slow_server is not None:
         overrides["slowdown_server"] = args.slow_server
-    if args.scenario is not None:
-        config = get_scenario(args.scenario).build_config(
-            strategy=args.strategy, n_tasks=args.tasks, **overrides
-        )
-    else:
-        config = ExperimentConfig(
-            strategy=args.strategy, n_tasks=args.tasks, **overrides
-        )
+    overrides.update(_remediation_overrides(args))
+    try:
+        if args.scenario is not None:
+            config = get_scenario(args.scenario).build_config(
+                strategy=args.strategy, n_tasks=args.tasks, **overrides
+            )
+        else:
+            config = ExperimentConfig(
+                strategy=args.strategy, n_tasks=args.tasks, **overrides
+            )
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
     if args.seeds > 1:
         seeds = tuple(range(args.seed, args.seed + args.seeds))
         print(f"running {config.describe()} (seeds {seeds[0]}..{seeds[-1]})")
@@ -385,6 +413,10 @@ def _add_serve(subparsers: argparse._SubParsersAction) -> None:
     p.add_argument("--stats-interval", type=float, default=None, metavar="S",
                    help="print per-worker queue depth and ops/s to stderr "
                         "every S wall seconds")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                   help="export Prometheus text over HTTP on this port "
+                        "(0 = ephemeral; with --procs N, process i exports "
+                        "on P+i)")
     p.add_argument("--uvloop", action="store_true",
                    help="use uvloop's event loop when the package is installed "
                         "(silently falls back to asyncio otherwise)")
@@ -420,6 +452,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             base_port=port,
             stats_interval=args.stats_interval,
             use_uvloop=args.uvloop,
+            metrics_base_port=args.metrics_port,
         )
         try:
             endpoints = supervisor.start()
@@ -431,12 +464,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"processes (time scale {time_scale:g}x):",
             flush=True,
         )
-        for (endpoint_host, endpoint_port), group in zip(
-            endpoints, supervisor.groups
+        for (endpoint_host, endpoint_port), group, metrics_port in zip(
+            endpoints, supervisor.groups, supervisor.metrics_ports
         ):
+            metrics_note = (
+                f" metrics http://{endpoint_host}:{metrics_port}/"
+                if metrics_port is not None
+                else ""
+            )
             print(
                 f"  {endpoint_host}:{endpoint_port} "
-                f"workers {group[0]}..{group[-1]}",
+                f"workers {group[0]}..{group[-1]}{metrics_note}",
                 flush=True,
             )
         try:
@@ -454,12 +492,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         install_uvloop()
 
     def ready(server) -> None:
+        metrics_note = (
+            f", metrics http://{server.host}:{server.metrics_port}/"
+            if server.metrics_port is not None
+            else ""
+        )
         print(
             f"serving scenario {args.scenario!r} on "
             f"{server.host}:{server.port} "
             f"({server.cluster.n_servers} workers x "
             f"{server.cluster.cores_per_server} cores, "
-            f"time scale {time_scale:g}x)",
+            f"time scale {time_scale:g}x{metrics_note})",
             flush=True,
         )
 
@@ -473,6 +516,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=port,
                 ready=ready,
                 stats_interval=args.stats_interval,
+                metrics_port=args.metrics_port,
             )
         )
     except KeyboardInterrupt:
@@ -503,6 +547,7 @@ def _add_loadgen(subparsers: argparse._SubParsersAction) -> None:
                    help="wall-clock safety timeout per run (seconds)")
     p.add_argument("--out", type=str, default=None,
                    help="write the summary JSON (sim-identical schema) here")
+    _add_remediate_flags(p)
     p.set_defaults(func=_cmd_loadgen)
 
 
@@ -556,9 +601,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("--seeds must be at least 1", file=sys.stderr)
         return 2
-    config = get_scenario(args.scenario).build_config(
-        strategy=args.strategy, n_tasks=args.tasks
-    )
+    try:
+        config = get_scenario(args.scenario).build_config(
+            strategy=args.strategy,
+            n_tasks=args.tasks,
+            **_remediation_overrides(args),
+        )
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
     seeds = tuple(range(args.seed, args.seed + args.seeds))
     host = args.host if args.host is not None else DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
@@ -593,6 +644,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 1
     for result in results:
         print(result.summary((50.0, 90.0, 95.0, 99.0, 99.9)))
+        if config.remediation != "off":
+            print(
+                f"  SLO: {result.extras.get('slo_breach_windows', 0):.0f} "
+                f"breach window(s), "
+                f"{result.extras.get('remediation_actions', 0):.0f} "
+                f"remediation action(s), "
+                f"{result.extras.get('bus_snapshots', 0):.0f} bus snapshot(s)"
+            )
     total = sum(r.tasks_completed for r in results)
     wall = sum(r.extras.get("live_wall_duration_s", 0.0) for r in results)
     print(f"completed {total} multigets in {wall:.1f}s wall "
@@ -625,6 +684,106 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         print(f"summary -> {args.out}")
     return 0
+
+
+def _add_watch(subparsers: argparse._SubParsersAction) -> None:
+    p = subparsers.add_parser(
+        "watch",
+        help="poll a live cluster's metrics over the admin plane",
+        description="Connect to a running `repro serve` cluster and poll "
+                    "its metrics mid-run: one compact line per interval "
+                    "(completed ops, ops/s, per-worker backlog), or the raw "
+                    "Prometheus exposition text with --prometheus -- the "
+                    "same page `repro serve --metrics-port` exports over "
+                    "HTTP. Stops after --count polls or on Ctrl-C.",
+    )
+    p.add_argument("--host", default=None)
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--endpoints", default=None, metavar="H:P,H:P,...",
+                   help="comma-separated endpoints of a multi-process "
+                        "cluster (overrides --host/--port)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="wall seconds between polls")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="stop after N polls (default: until interrupted)")
+    p.add_argument("--prometheus", action="store_true",
+                   help="dump Prometheus text each poll instead of the "
+                        "compact line")
+    p.set_defaults(func=_cmd_watch)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from .loadgen import LiveTransportError
+    from .loadgen.transport import LiveTransport
+    from .serve import DEFAULT_HOST, DEFAULT_PORT
+
+    if args.endpoints is not None:
+        try:
+            endpoints = _parse_endpoints(args.endpoints)
+        except ValueError as exc:
+            print(f"bad --endpoints: {exc}", file=sys.stderr)
+            return 2
+    else:
+        host = args.host if args.host is not None else DEFAULT_HOST
+        port = args.port if args.port is not None else DEFAULT_PORT
+        endpoints = [(host, port)]
+    if args.interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
+
+    async def watch() -> int:
+        transport = await LiveTransport.connect(endpoints)
+        try:
+            last_completed: _t.Optional[int] = None
+            last_at = _time.monotonic()
+            polls = 0
+            while args.count is None or polls < args.count:
+                if polls:
+                    await asyncio.sleep(args.interval)
+                if args.prometheus:
+                    text = await asyncio.wait_for(
+                        transport.fetch_metrics(), timeout=10
+                    )
+                    print(text, end="", flush=True)
+                else:
+                    stats = await asyncio.wait_for(
+                        transport.fetch_stats(), timeout=10
+                    )
+                    now = _time.monotonic()
+                    completed = int(stats.get("completed", 0))
+                    if last_completed is None:
+                        rate = 0.0
+                    else:
+                        rate = (completed - last_completed) / max(
+                            now - last_at, 1e-9
+                        )
+                    last_completed, last_at = completed, now
+                    backlog = " ".join(
+                        f"w{w.get('worker')}:"
+                        f"{int(w.get('queued', 0)) + int(w.get('in_service', 0))}"
+                        for w in stats.get("workers", [])
+                    )
+                    print(
+                        f"[watch] completed={completed} ops/s={rate:,.0f} "
+                        f"uptime={float(stats.get('uptime_model_s', 0.0)):.2f}"
+                        f"model-s backlog {backlog}",
+                        flush=True,
+                    )
+                polls += 1
+            return 0
+        finally:
+            await transport.close()
+
+    try:
+        return asyncio.run(watch())
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError, LiveTransportError) as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _add_firehose(subparsers: argparse._SubParsersAction) -> None:
@@ -1100,6 +1259,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_figure2(subparsers)
     _add_serve(subparsers)
     _add_loadgen(subparsers)
+    _add_watch(subparsers)
     _add_firehose(subparsers)
     _add_compare(subparsers)
     _add_trace(subparsers)

@@ -83,6 +83,17 @@ class ExperimentConfig:
     record_requests: bool = False
     #: Name of the scenario this config was derived from (provenance only).
     scenario: _t.Optional[str] = None
+    #: Streamed metrics + self-healing: "off" (no bus, no extra events),
+    #: "monitor" (bus + breach detection, no action -- the honest
+    #: baseline) or "slo" (full remediation loop).
+    remediation: str = "off"
+    #: Windowed-p99 SLO target in model milliseconds (breach detection
+    #: needs it; required for remediation="slo").
+    slo_p99_ms: _t.Optional[float] = None
+    #: Metrics ticker cadence in model seconds (monitor/slo modes).
+    metrics_interval: float = 0.02
+    #: Trailing window the bus percentiles cover (model seconds).
+    metrics_window: float = 0.1
 
     def __post_init__(self) -> None:
         if self.strategy not in KNOWN_STRATEGIES:
@@ -126,6 +137,19 @@ class ExperimentConfig:
         if not isinstance(self.fault_schedule, FaultSchedule):
             raise TypeError("fault_schedule must be a FaultSchedule")
         self.fault_schedule.validate_targets(self.cluster.n_servers)
+        from ..cluster.remediation import REMEDIATION_MODES
+
+        if self.remediation not in REMEDIATION_MODES:
+            raise ValueError(
+                f"unknown remediation mode {self.remediation!r}; "
+                f"known: {REMEDIATION_MODES}"
+            )
+        if self.remediation == "slo" and self.slo_p99_ms is None:
+            raise ValueError('remediation="slo" needs a slo_p99_ms target')
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ValueError("slo_p99_ms must be positive")
+        if self.metrics_interval <= 0 or self.metrics_window <= 0:
+            raise ValueError("metrics intervals must be positive")
 
     # -- derived ---------------------------------------------------------------
     def faults(self) -> FaultSchedule:

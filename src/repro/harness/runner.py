@@ -23,6 +23,7 @@ import typing as _t
 from ..cluster.client import Client
 from ..cluster.faults import FaultInjector
 from ..cluster.messages import TaskCompletion
+from ..cluster.remediation import RemediationDriver, build_remediation
 from ..cluster.network import Network
 from ..metrics.counters import MetricRegistry
 from ..metrics.reservoir import ExactSample
@@ -182,13 +183,26 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
         env, config.n_tasks, warmup_tasks, config.record_requests
     )
 
+    # The remediation driver (if any) is assembled after the servers
+    # exist, but completion callbacks only fire once env.run starts, so
+    # a late-bound closure over ``remediation`` is safe.
+    remediation: _t.Optional[RemediationDriver] = None
+    on_complete: _t.Callable[[TaskCompletion], None] = tracker.on_complete
+    if config.remediation != "off":
+
+        def on_complete(completion: TaskCompletion) -> None:
+            remediation.observe_completion(completion.latency)
+            tracker.on_complete(completion)
+
     # Construction order matters for byte-identical determinism: shared
     # machinery, then clients (strategy before client), then servers, then
     # the fault script -- the same order the pre-registry runner used.
     builder.build_shared(ctx)
     clients: _t.List[Client] = []
+    strategies: _t.List[_t.Any] = []
     for client_id in range(config.n_clients):
         strategy = builder.build_client_strategy(ctx, client_id)
+        strategies.append(strategy)
         clients.append(
             Client(
                 env,
@@ -197,7 +211,7 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
                 strategy=strategy,
                 request_recorder=tracker if config.record_requests else None,
                 metrics=metrics,
-                on_complete=tracker.on_complete,
+                on_complete=on_complete,
                 request_observer=(
                     tracker.observe_request if config.record_requests else None
                 ),
@@ -210,6 +224,18 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
     injector = FaultInjector(
         env, config.faults(), servers, network, placement=placement
     )
+    remediation = build_remediation(
+        config,
+        env,
+        placement,
+        ctx.shared,
+        strategies,
+        # Backlog = queued + in service: pacing strategies keep queues
+        # near zero while saturating cores, so queues alone miss heat.
+        lambda: [s.queue_length() + s.in_service for s in servers],
+    )
+    if remediation is not None:
+        env.call_every(remediation.interval, remediation.tick)
 
     generator = workload.generator(streams)
 
@@ -224,6 +250,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
             delay = gap / injector.arrival_scale()
             if delay > 0:
                 yield env.timeout(delay)
+            if remediation is not None:
+                remediation.observe_arrival()
             clients[task.client_id].submit(task)
 
     env.process(feeder(), name="workload-feeder")
@@ -245,6 +273,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
     }
     extras.update(builder.collect_extras(ctx, clients, servers))
     extras.update(injector.extras())
+    if remediation is not None:
+        extras.update(remediation.extras())
     if placement.swaps:
         extras["placement_swaps"] = float(placement.swaps)
 

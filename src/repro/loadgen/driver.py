@@ -36,6 +36,7 @@ from ..cluster.faults import (
     validate_rebalance_feasibility,
     windows_extras,
 )
+from ..cluster.remediation import RemediationDriver, build_remediation
 from ..core.clock import WallClock
 from ..harness.builders import ClusterContext, ModelBuilder, get_builder
 from ..harness.config import ExperimentConfig
@@ -276,6 +277,7 @@ async def run_live(
     feeder: _t.Optional["asyncio.Task[None]"] = None
     done_waiter: _t.Optional["asyncio.Task[bool]"] = None
     faults: _t.Optional[LiveFaultDriver] = None
+    remediation: _t.Optional[RemediationDriver] = None
     try:
         stats_before = await asyncio.wait_for(transport.fetch_stats(), timeout=10)
         streams = StreamFactory(seed)
@@ -296,12 +298,25 @@ async def run_live(
         )
         warmup_tasks = int(config.warmup_fraction * config.n_tasks)
         tracker = _LiveTracker(config.n_tasks, warmup_tasks)
+
+        # Same late-bound pattern as the simulated runner: the driver is
+        # assembled after the strategies exist, completions only start
+        # arriving once the feeder runs.
+        on_complete: _t.Callable[["TaskCompletion"], None] = tracker.on_complete
+        if config.remediation != "off":
+
+            def on_complete(completion: "TaskCompletion") -> None:
+                remediation.observe_completion(completion.latency)
+                tracker.on_complete(completion)
+
         # Same construction order as the simulated runner: shared machinery,
         # then clients (strategy before client).
         builder.build_shared(ctx)
         clients: _t.List[Client] = []
+        strategies: _t.List[_t.Any] = []
         for client_id in range(config.n_clients):
             strategy = builder.build_client_strategy(ctx, client_id)
+            strategies.append(strategy)
             clients.append(
                 Client(
                     clock,
@@ -309,7 +324,7 @@ async def run_live(
                     network=transport,
                     strategy=strategy,
                     metrics=metrics,
-                    on_complete=tracker.on_complete,
+                    on_complete=on_complete,
                 )
             )
         faults = LiveFaultDriver(
@@ -318,6 +333,12 @@ async def run_live(
             transport,
             config.cluster.one_way_latency,
             placement=placement,
+        )
+        # The live substrate's backlog view is the piggybacked feedback
+        # the transport already receives on every result frame.
+        remediation = build_remediation(
+            config, clock, placement, ctx.shared, strategies,
+            transport.backlog_depths,
         )
         generator = workload.generator(streams)
         expected_model_s = config.n_tasks / workload.task_rate
@@ -347,6 +368,8 @@ async def run_live(
                     if lag > schedule_lag["max"]:
                         schedule_lag["max"] = lag
                 schedule_lag["n"] += 1
+                if remediation is not None:
+                    remediation.observe_arrival()
                 clients[task.client_id].submit(task)
 
         wall_start = time.monotonic()
@@ -354,6 +377,8 @@ async def run_live(
         # the trace's intended arrival times, exactly like the simulation.
         clock.rebase()
         faults.start()
+        if remediation is not None:
+            clock.process(remediation.ticker(), name="metrics-ticker")
         feeder = asyncio.get_running_loop().create_task(feed(), name="live-feeder")
         done_waiter = asyncio.get_running_loop().create_task(tracker.done.wait())
 
@@ -445,6 +470,8 @@ async def run_live(
         }
         extras.update(builder.collect_extras(ctx, clients, ()))
         extras.update(faults.extras())
+        if remediation is not None:
+            extras.update(remediation.extras())
         if placement.swaps:
             extras["placement_swaps"] = float(placement.swaps)
 
@@ -470,6 +497,8 @@ async def run_live(
         clock.cancel_processes()
         if faults is not None:
             faults.reset()  # leave the server undegraded for the next run
+        if remediation is not None:
+            remediation.reset()  # revert any mid-episode lever
         await transport.close()
 
 

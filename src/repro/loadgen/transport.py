@@ -180,6 +180,7 @@ class LiveTransport:
         self._worker_links: _t.Dict[int, _t.List[_Link]] = {}
         self._rr: _t.Dict[Endpoint, int] = {}
         self._stats_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
+        self._metrics_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
         #: Set on connection loss / protocol error / op rejection.
         self.failed: "asyncio.Future[None]" = (
             asyncio.get_running_loop().create_future()
@@ -187,6 +188,10 @@ class LiveTransport:
         self.ops_sent = 0
         self.responses_received = 0
         self.congestion_signals = 0
+        #: Latest piggybacked backlog (queued + in service) per server id,
+        #: refreshed on every result frame -- the live realm's view of
+        #: server heat for the metrics bus (sim reads the servers directly).
+        self._backlog: _t.Dict[int, float] = {}
 
     @classmethod
     async def connect(
@@ -253,6 +258,7 @@ class LiveTransport:
                 )
                 transport._rr[endpoint] = 0
                 transport._stats_waiters[endpoint] = []
+                transport._metrics_waiters[endpoint] = []
         for endpoint, workers in transport._endpoint_workers.items():
             for worker_id in workers:
                 transport._worker_links[worker_id] = transport._endpoint_links[
@@ -417,6 +423,22 @@ class LiveTransport:
         replies = await asyncio.gather(*futures)
         return self._merge_stats(replies)
 
+    async def fetch_metrics(self) -> str:
+        """Request every endpoint's Prometheus text and concatenate it.
+
+        Worker lines carry global worker ids, so the concatenation of a
+        multi-process cluster's pages reads as one cluster-wide page.
+        """
+        loop = asyncio.get_running_loop()
+        futures: _t.List["asyncio.Future[_t.Dict[str, _t.Any]]"] = []
+        for endpoint in self._endpoint_links:
+            future: "asyncio.Future[_t.Dict[str, _t.Any]]" = loop.create_future()
+            self._metrics_waiters[endpoint].append(future)
+            futures.append(future)
+        self.admin({"t": "admin", "cmd": "metrics"})
+        replies = await asyncio.gather(*futures)
+        return "".join(str(reply.get("text", "")) for reply in replies)
+
     @staticmethod
     def _merge_stats(
         replies: _t.Sequence[_t.Dict[str, _t.Any]]
@@ -467,6 +489,12 @@ class LiveTransport:
                 future = waiters.pop(0)
                 if not future.done():
                     future.set_result(frame)
+        elif kind == "metrics":
+            waiters = self._metrics_waiters.get(link.endpoint)
+            if waiters:
+                future = waiters.pop(0)
+                if not future.done():
+                    future.set_result(frame)
         elif kind == "admin-ack":
             pass  # fault commands are fire-and-forget
         elif kind == "error":
@@ -501,6 +529,9 @@ class LiveTransport:
             in_service=int(feedback_raw.get("s", 0)),
             ewma_service_time=float(feedback_raw.get("ew", 0.0)),
         )
+        self._backlog[feedback.server_id] = float(
+            feedback.queue_length + feedback.in_service
+        )
         self.responses_received += 1
         handler = self._handlers.get(client_address(request.client_id))
         if handler is None:
@@ -516,6 +547,16 @@ class LiveTransport:
     def _fail(self, exc: Exception) -> None:
         if not self.failed.done():
             self.failed.set_exception(exc)
+
+    def backlog_depths(self) -> _t.List[float]:
+        """Per-server latest piggybacked backlog, dense over the id space.
+
+        Servers that have not responded yet (or never will: crashed)
+        report their last-known value, 0.0 before any response -- the
+        same optimistic default the strategies' feedback trackers use.
+        """
+        n_servers = int(self.ack.get("n_servers", 0))
+        return [self._backlog.get(s, 0.0) for s in range(n_servers)]
 
     @property
     def pending_ops(self) -> int:

@@ -1,8 +1,18 @@
 """Metrics: histograms, samples, summaries, time series, counters."""
 
+from .bus import (
+    BusEvent,
+    BusSampler,
+    BusSnapshot,
+    MetricsBus,
+    WindowedQuantiles,
+    render_prometheus,
+    snapshot_prometheus,
+)
 from .counters import Counter, Gauge, MetricRegistry
 from .histogram import LogHistogram
 from .reservoir import ExactSample, Reservoir, exact_quantile
+from .slo import BreachDetector, SloPolicy
 from .summary import (
     DEFAULT_PERCENTILES,
     LatencySummary,
@@ -12,6 +22,10 @@ from .summary import (
 from .timeseries import EwmaEstimator, TimeSeries, WindowedRate
 
 __all__ = [
+    "BreachDetector",
+    "BusEvent",
+    "BusSampler",
+    "BusSnapshot",
     "Counter",
     "DEFAULT_PERCENTILES",
     "EwmaEstimator",
@@ -20,10 +34,15 @@ __all__ = [
     "LatencySummary",
     "LogHistogram",
     "MetricRegistry",
+    "MetricsBus",
     "PAPER_PERCENTILES",
     "Reservoir",
+    "SloPolicy",
     "TimeSeries",
+    "WindowedQuantiles",
     "WindowedRate",
     "exact_quantile",
     "mean_of_summaries",
+    "render_prometheus",
+    "snapshot_prometheus",
 ]

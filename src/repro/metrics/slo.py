@@ -1,0 +1,91 @@
+"""SLO breach detection over the streamed metrics bus.
+
+A :class:`BreachDetector` watches :class:`~repro.metrics.bus.BusSnapshot`
+windows against a per-scenario p99 target and reports breach *episodes*
+with hysteresis: the detector enters the breached state only after
+``breach_after`` consecutive over-target windows and leaves it only
+after ``clear_after`` consecutive under-target windows, so a single
+noisy window neither triggers nor cancels remediation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .bus import BusSnapshot
+
+
+@dataclasses.dataclass(frozen=True)
+class SloPolicy:
+    """Per-scenario service-level objective and its evaluation knobs."""
+
+    #: The target: windowed p99 latency must stay below this (model ms).
+    p99_target_ms: float
+    #: Consecutive over-target windows before a breach episode opens.
+    breach_after: int = 2
+    #: Consecutive under-target windows before the episode closes.
+    clear_after: int = 3
+    #: Windows with fewer completions than this are not evaluated
+    #: (degenerate windows -- e.g. mid-crash -- have meaningless p99s).
+    min_window_count: int = 5
+
+    def __post_init__(self) -> None:
+        if self.p99_target_ms <= 0:
+            raise ValueError("p99_target_ms must be positive")
+        if self.breach_after < 1 or self.clear_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+        if self.min_window_count < 0:
+            raise ValueError("min_window_count must be >= 0")
+
+
+class BreachDetector:
+    """Windowed SLO evaluation with hysteresis.
+
+    Feed every bus snapshot to :meth:`observe`; it returns ``"breach"``
+    when a breach episode opens, ``"clear"`` when one closes, and
+    ``None`` otherwise.  ``breach_windows`` counts every *evaluated*
+    window whose p99 exceeded the target -- the number the remediation
+    benchmark compares between remediated and unremediated runs.
+    """
+
+    def __init__(self, policy: SloPolicy) -> None:
+        self.policy = policy
+        self.breached = False
+        #: Evaluated windows (>= min_window_count completions).
+        self.windows_evaluated = 0
+        #: Evaluated windows whose p99 exceeded the target.
+        self.breach_windows = 0
+        #: Breach episodes opened so far.
+        self.breaches = 0
+        self._over_streak = 0
+        self._under_streak = 0
+
+    def observe(self, snapshot: BusSnapshot) -> _t.Optional[str]:
+        if snapshot.window_count < self.policy.min_window_count:
+            return None
+        self.windows_evaluated += 1
+        over = snapshot.latency_p99_ms > self.policy.p99_target_ms
+        if over:
+            self.breach_windows += 1
+            self._over_streak += 1
+            self._under_streak = 0
+        else:
+            self._under_streak += 1
+            self._over_streak = 0
+        if not self.breached and self._over_streak >= self.policy.breach_after:
+            self.breached = True
+            self.breaches += 1
+            return "breach"
+        if self.breached and self._under_streak >= self.policy.clear_after:
+            self.breached = False
+            return "clear"
+        return None
+
+    def extras(self) -> _t.Dict[str, float]:
+        """Audit counters merged into ``RunResult.extras``."""
+        return {
+            "slo_windows_evaluated": float(self.windows_evaluated),
+            "slo_breach_windows": float(self.breach_windows),
+            "slo_breaches": float(self.breaches),
+        }

@@ -8,6 +8,7 @@ mean, extractable from any recorder that implements ``quantile``.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 #: The percentiles Figure 2 of the paper reports.
@@ -73,11 +74,25 @@ class LatencySummary:
         )
 
     def ratio_to(self, other: "LatencySummary") -> _t.Dict[float, float]:
-        """Per-percentile ratio self/other (e.g. C3 over BRB = speedup)."""
+        """Per-percentile ratio self/other (e.g. C3 over BRB = speedup).
+
+        A zero percentile in ``other`` (possible with empty or degenerate
+        windows, e.g. from the streamed metrics bus) yields ``math.inf``
+        -- or ``math.nan`` when the numerator is zero too -- instead of
+        raising ``ZeroDivisionError``.
+        """
         shared = sorted(set(self.percentiles) & set(other.percentiles))
         if not shared:
             raise ValueError("summaries share no percentiles")
-        return {p: self.percentiles[p] / other.percentiles[p] for p in shared}
+        out: _t.Dict[float, float] = {}
+        for p in shared:
+            numerator = self.percentiles[p]
+            denominator = other.percentiles[p]
+            if denominator == 0.0:
+                out[p] = math.nan if numerator == 0.0 else math.inf
+            else:
+                out[p] = numerator / denominator
+        return out
 
     def as_row(self, unit_scale: float = 1e3) -> _t.Dict[str, float]:
         """Flat dict row (defaults to milliseconds) for table rendering."""

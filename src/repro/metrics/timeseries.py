@@ -64,12 +64,26 @@ class TimeSeries:
         return f"<TimeSeries {self.name!r} n={len(self._times)}>"
 
 
+#: Smallest rate denominator (model seconds): a query made at the instant
+#: of the first event reports weight / EPSILON_ELAPSED rather than
+#: dividing by zero.
+EPSILON_ELAPSED = 1e-6
+
+
 class WindowedRate:
     """Counts events and reports the rate over the trailing window.
 
     The C3 rate-control loop and the credits controller's demand estimator
     both need "events per second over the last T" with cheap updates.
     Events older than ``window`` are evicted lazily on query.
+
+    Before one full window has elapsed since the first recorded event the
+    denominator is the *elapsed* time (clamped to ``EPSILON_ELAPSED``),
+    not the full window -- dividing by the window would understate every
+    warm-up rate by ``window / elapsed``.  Queries must not lag recording:
+    ``rate``/``count`` raise on a ``now`` earlier than the latest recorded
+    event, because silently counting future events would overstate the
+    answer.
     """
 
     def __init__(self, window: float) -> None:
@@ -78,10 +92,15 @@ class WindowedRate:
         self.window = window
         self._events: _t.List[_t.Tuple[float, float]] = []  # (time, weight)
         self._weight_sum = 0.0
+        self._first_time: _t.Optional[float] = None
+        self._last_time = -math.inf
 
     def record(self, time: float, weight: float = 1.0) -> None:
-        if self._events and time < self._events[-1][0]:
+        if time < self._last_time:
             raise ValueError("time went backwards")
+        if self._first_time is None:
+            self._first_time = time
+        self._last_time = time
         self._events.append((time, weight))
         self._weight_sum += weight
         # Amortized eviction: a hot recorder queried rarely (a saturated
@@ -102,13 +121,29 @@ class WindowedRate:
         if drop:
             del self._events[:drop]
 
+    def _check_not_stale(self, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError(
+                f"stale query: now={now} is earlier than the latest "
+                f"recorded event at {self._last_time}"
+            )
+
+    def _elapsed(self, now: float) -> float:
+        """The rate denominator: elapsed since the first event, clamped
+        to ``[EPSILON_ELAPSED, window]``."""
+        if self._first_time is None:
+            return self.window
+        return min(self.window, max(now - self._first_time, EPSILON_ELAPSED))
+
     def rate(self, now: float) -> float:
         """Weighted events per unit time over ``[now - window, now]``."""
+        self._check_not_stale(now)
         self._evict(now)
-        return self._weight_sum / self.window
+        return self._weight_sum / self._elapsed(now)
 
     def count(self, now: float) -> float:
         """Total weight inside the current window."""
+        self._check_not_stale(now)
         self._evict(now)
         return self._weight_sum
 

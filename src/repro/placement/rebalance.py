@@ -163,6 +163,8 @@ class MutablePlacement(Placement):
         self.base = base
         #: Exclusion reference counts per server id.
         self._counts: _t.Dict[int, int] = {}
+        #: Per-partition extra replicas (remediation's spread lever).
+        self._boosts: _t.Dict[int, _t.Tuple[int, ...]] = {}
         self.active: Placement = base
         #: Ring rebuilds applied so far (audit counter).
         self.swaps = 0
@@ -188,8 +190,24 @@ class MutablePlacement(Placement):
         return self.active.partition_of(key)
 
     def replicas_of(self, partition: int) -> _t.Tuple[int, ...]:
-        """The *currently eligible* replica set of one partition."""
-        return self.active.replicas_of(partition)
+        """The *currently eligible* replica set of one partition.
+
+        A boosted partition's set is the active ring's replicas plus the
+        boost's extra servers (minus any currently excluded), so every
+        per-request consumer -- strategy ``prepare``, hedging's replica
+        walk, credits sub-task pinning -- sees the widened choice set
+        immediately.
+        """
+        replicas = self.active.replicas_of(partition)
+        if self._boosts:
+            extras = self._boosts.get(partition)
+            if extras:
+                replicas = replicas + tuple(
+                    s
+                    for s in extras
+                    if s not in replicas and s not in self._counts
+                )
+        return replicas
 
     def validate(self) -> None:
         """Validate the active ring's structural invariants."""
@@ -224,6 +242,40 @@ class MutablePlacement(Placement):
             else:
                 counts[s] = count - 1
         self._apply(counts)
+
+    # -- replica spreading (the hot-shard remediation lever) ----------------
+    @property
+    def boosted(self) -> _t.Dict[int, _t.Tuple[int, ...]]:
+        """Partitions currently carrying extra replicas."""
+        return dict(self._boosts)
+
+    def boost(self, partition: int, extras: _t.Iterable[int]) -> None:
+        """Widen ``partition``'s replica set with ``extras``.
+
+        The spread remediation for a popularity hot shard: exclusion
+        cannot help there (the hot partition keeps exactly
+        ``replication_factor`` replicas while the ring loses capacity),
+        but extra replicas let the selection strategies route the heat
+        across more servers.  Servers must exist in the id space; one
+        boost per partition at a time (re-boosting replaces the set).
+        """
+        extras = tuple(dict.fromkeys(int(s) for s in extras))
+        if not (0 <= partition < self.n_partitions):
+            raise ValueError(f"partition {partition} out of range")
+        for s in extras:
+            if not (0 <= s < self.n_servers):
+                raise ValueError(f"server {s} out of range")
+        if not extras:
+            raise ValueError("boost needs at least one extra server")
+        self._boosts[partition] = extras
+        self.swaps += 1
+
+    def unboost(self, partition: int) -> None:
+        """Drop ``partition``'s extra replicas (revert of a boost)."""
+        if partition not in self._boosts:
+            raise ValueError(f"partition {partition} is not boosted")
+        del self._boosts[partition]
+        self.swaps += 1
 
     def _apply(self, counts: _t.Dict[int, int]) -> None:
         """Swap in the ring for ``counts``, atomically (raise = no change)."""

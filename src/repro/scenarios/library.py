@@ -1,9 +1,10 @@
 """The built-in scenario library.
 
-Twelve named workload scenarios covering the paper's evaluation, the
-fault shapes tail-latency systems are judged on, and the placement
-pathologies sharded stores hit at scale (see ``docs/scenarios.md`` for
-the full catalog).  Fault onsets are virtual seconds; at the scaled
+Fifteen named workload scenarios covering the paper's evaluation, the
+fault shapes tail-latency systems are judged on, the placement
+pathologies sharded stores hit at scale, and the self-healing pairs the
+SLO control plane is evaluated on (see ``docs/scenarios.md`` for the
+full catalog).  Fault onsets are virtual seconds; at the scaled
 default task counts (5k-12k tasks, ~10k tasks/s at 70% load) a run lasts
 roughly 0.5-1.2 s, so every recurring fault below fires at least once.
 Scale-down smoke runs (a few hundred tasks) may end before a window
@@ -205,6 +206,68 @@ CRASH_RESTART = register_scenario(
     make_scenario(
         "crash-restart",
         "one server crashes for 80ms in recurring windows, queue retained",
+        faults=FaultSchedule(
+            (
+                CrashFault(servers=(0,), start=0.1, duration=0.08, period=0.4),
+            )
+        ),
+    )
+)
+
+# -- self-healing pairs -------------------------------------------------------
+# Each fault scenario above has a ``*-remediated`` twin that closes the
+# loop: the streamed metrics bus feeds the SLO breach detector, and on
+# breach the remediation driver acts through the placement/credits/
+# hedging levers (see docs/observability.md).  Compare against the base
+# scenario run in ``remediation="monitor"`` mode -- same bus, same
+# detector, no action -- so breach-window counts are like for like.
+
+#: The windowed-p99 target the remediated scenarios defend (model ms):
+#: comfortably above the steady-state tail, well below the faulted one.
+REMEDIATION_SLO_P99_MS = 10.0
+
+HOT_SHARD_REMEDIATED = register_scenario(
+    make_scenario(
+        "hot-shard-remediated",
+        "hot-shard with the SLO loop spreading the hot partition",
+        overrides={
+            "hot_shard": 0,
+            "hot_shard_weight": 0.4,
+            "n_keys": 20_000,
+            "load": 0.6,
+            "remediation": "slo",
+            "slo_p99_ms": REMEDIATION_SLO_P99_MS,
+        },
+    )
+)
+
+FLASH_CROWD_REMEDIATED = register_scenario(
+    make_scenario(
+        "flash-crowd-remediated",
+        "flash-crowd with the SLO loop reacting to arrival surges",
+        overrides={
+            "load": 0.60,
+            "remediation": "slo",
+            "slo_p99_ms": REMEDIATION_SLO_P99_MS,
+        },
+        faults=FaultSchedule(
+            (
+                FlashCrowdFault(
+                    multiplier=2.2, start=0.15, duration=0.2, period=0.6
+                ),
+            )
+        ),
+    )
+)
+
+CRASH_RESTART_REMEDIATED = register_scenario(
+    make_scenario(
+        "crash-restart-remediated",
+        "crash-restart with the SLO loop excluding the downed server",
+        overrides={
+            "remediation": "slo",
+            "slo_p99_ms": REMEDIATION_SLO_P99_MS,
+        },
         faults=FaultSchedule(
             (
                 CrashFault(servers=(0,), start=0.1, duration=0.08, period=0.4),

@@ -34,6 +34,7 @@ import typing as _t
 from ..cluster.server import congestion_ratio
 from ..cluster.topology import ClusterSpec
 from ..core.clock import WallClock
+from ..metrics.bus import prometheus_line, render_prometheus
 from ..sim.rng import StreamFactory
 from ..workload.calibration import ServiceTimeModel
 from .codec import BINARY_CODEC, JSON_CODEC, codec_for
@@ -123,6 +124,7 @@ class LiveServer:
         port: int = DEFAULT_PORT,
         worker_ids: _t.Optional[_t.Sequence[int]] = None,
         stats_interval: _t.Optional[float] = None,
+        metrics_port: _t.Optional[int] = None,
     ) -> None:
         self.cluster = cluster
         self.service_model = service_model
@@ -147,6 +149,11 @@ class LiveServer:
         self.stats_interval = (
             float(stats_interval) if stats_interval else None
         )
+        #: Bind a plain-HTTP Prometheus exposition endpoint on this port
+        #: (0 = ephemeral, ``None`` = no exporter); resolved after start().
+        self.metrics_port = (
+            int(metrics_port) if metrics_port is not None else None
+        )
         self.clock = WallClock(scale=time_scale)
         self.workers: _t.Dict[int, LiveWorker] = {}
         self.connections: _t.List[_Connection] = []
@@ -156,6 +163,7 @@ class LiveServer:
         #: are summed live in :meth:`io_counters`).
         self._closed_io = {"frames_sent": 0, "bytes_sent": 0, "writes": 0}
         self._server: _t.Optional[asyncio.AbstractServer] = None
+        self._metrics_server: _t.Optional[asyncio.AbstractServer] = None
         self._monitors: _t.List["asyncio.Task[None]"] = []
         self._stats_task: _t.Optional["asyncio.Task[None]"] = None
 
@@ -170,6 +178,7 @@ class LiveServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         worker_ids: _t.Optional[_t.Sequence[int]] = None,
         stats_interval: _t.Optional[float] = None,
+        metrics_port: _t.Optional[int] = None,
     ) -> "LiveServer":
         """A server matching one experiment config's backend tier."""
         return cls(
@@ -184,6 +193,7 @@ class LiveServer:
             max_queue=max_queue,
             worker_ids=worker_ids,
             stats_interval=stats_interval,
+            metrics_port=metrics_port,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -219,12 +229,21 @@ class LiveServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         for monitor in self._monitors:
             monitor.cancel()
         self._monitors = []
@@ -399,6 +418,70 @@ class LiveServer:
                 totals[key] += getattr(connection.out, key)
         return totals
 
+    # -- metrics export -----------------------------------------------------------
+    def metrics_text(self) -> str:
+        """This process's live state as Prometheus exposition text.
+
+        The server-side half of the streamed metrics bus: the same
+        signals the workers piggyback on every response (queue depth,
+        in-service count), readable mid-run by anything that can speak
+        HTTP (``--metrics-port``) or the admin plane (``repro watch``).
+        """
+        now = self.clock.now
+        text = render_prometheus(
+            {
+                "connections": float(len(self.connections)),
+                "frames_received": float(self.frames_received),
+                "congestion_frames_sent": float(self.congestion_frames_sent),
+                "uptime_model_s": now,
+            },
+            prefix="repro_serve",
+        )
+        lines = [text.rstrip("\n")]
+        for worker_id in self.worker_ids:
+            worker = self.workers[worker_id]
+            labels = {"worker": worker_id}
+            for name, value in (
+                ("queued", float(worker.queue_length())),
+                ("in_service", float(worker.in_service)),
+                ("completed", float(worker.completed)),
+                ("rejected", float(worker.rejected)),
+                ("arrival_rate", worker.arrival_rate.rate(now)),
+                ("busy_time_s", worker.busy_time),
+                ("speed_factor", worker.speed_factor),
+            ):
+                lines.append(
+                    prometheus_line(f"repro_serve_worker_{name}", value, labels)
+                )
+        return "\n".join(lines) + "\n"
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.1 responder: every request gets the metrics page.
+
+        Deliberately not a web framework: one GET in, one text/plain out,
+        connection closed -- all a Prometheus scrape needs.
+        """
+        try:
+            while True:  # drain the request line and headers
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = self.metrics_text().encode("utf-8")
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # a vanished scraper is not a server problem
+        finally:
+            writer.close()
+
     def _handle_admin(
         self, connection: _Connection, frame: _t.Dict[str, _t.Any]
     ) -> None:
@@ -440,6 +523,9 @@ class LiveServer:
             }
             frame_out.update(self.io_counters())
             connection.send(frame_out)
+            return
+        elif command == "metrics":
+            connection.send({"t": "metrics", "text": self.metrics_text()})
             return
         else:
             raise ProtocolError(f"unknown admin command {command!r}")
@@ -516,6 +602,7 @@ async def run_server(
     ready: _t.Optional[_t.Callable[[LiveServer], None]] = None,
     worker_ids: _t.Optional[_t.Sequence[int]] = None,
     stats_interval: _t.Optional[float] = None,
+    metrics_port: _t.Optional[int] = None,
 ) -> None:
     """Start a server from a config and serve until cancelled.
 
@@ -530,6 +617,7 @@ async def run_server(
         port=port,
         worker_ids=worker_ids,
         stats_interval=stats_interval,
+        metrics_port=metrics_port,
     )
     await server.start()
     if ready is not None:

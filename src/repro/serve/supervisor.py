@@ -50,6 +50,7 @@ def _serve_process(
     stats_interval: _t.Optional[float],
     pipe: _t.Any,
     use_uvloop: bool,
+    metrics_port: _t.Optional[int] = None,
 ) -> None:
     """Child entry: serve one shard group until terminated."""
     import asyncio
@@ -58,7 +59,7 @@ def _serve_process(
         install_uvloop()
 
     def ready(server: _t.Any) -> None:
-        pipe.send(("ready", server.host, server.port))
+        pipe.send(("ready", server.host, server.port, server.metrics_port))
 
     try:
         asyncio.run(
@@ -71,6 +72,7 @@ def _serve_process(
                 ready=ready,
                 worker_ids=worker_ids,
                 stats_interval=stats_interval,
+                metrics_port=metrics_port,
             )
         )
     except KeyboardInterrupt:
@@ -100,6 +102,7 @@ class ServeSupervisor:
         base_port: int = DEFAULT_PORT,
         stats_interval: _t.Optional[float] = None,
         use_uvloop: bool = False,
+        metrics_base_port: _t.Optional[int] = None,
     ) -> None:
         self.config = config
         self.procs = int(procs)
@@ -109,8 +112,15 @@ class ServeSupervisor:
         self.base_port = int(base_port)
         self.stats_interval = stats_interval
         self.use_uvloop = bool(use_uvloop)
+        #: Child ``index`` exports Prometheus text on
+        #: ``metrics_base_port + index`` (0 = ephemeral everywhere).
+        self.metrics_base_port = (
+            int(metrics_base_port) if metrics_base_port is not None else None
+        )
         self.groups = worker_groups(config.cluster.n_servers, self.procs)
         self.endpoints: _t.List[_t.Tuple[str, int]] = []
+        #: Resolved per-child metrics ports after start() (None = no export).
+        self.metrics_ports: _t.List[_t.Optional[int]] = []
         self._children: _t.List[multiprocessing.process.BaseProcess] = []
 
     def start(self) -> _t.List[_t.Tuple[str, int]]:
@@ -122,6 +132,12 @@ class ServeSupervisor:
         pipes = []
         for index, group in enumerate(self.groups):
             parent_end, child_end = context.Pipe(duplex=False)
+            if self.metrics_base_port is None:
+                metrics_port: _t.Optional[int] = None
+            elif self.metrics_base_port == 0:
+                metrics_port = 0
+            else:
+                metrics_port = self.metrics_base_port + index
             child = context.Process(
                 target=_serve_process,
                 args=(
@@ -134,6 +150,7 @@ class ServeSupervisor:
                     self.stats_interval,
                     child_end,
                     self.use_uvloop,
+                    metrics_port,
                 ),
                 name=f"repro-serve-{index}",
                 daemon=True,
@@ -143,7 +160,9 @@ class ServeSupervisor:
             self._children.append(child)
             pipes.append(parent_end)
         try:
-            self.endpoints = [self._await_ready(pipe) for pipe in pipes]
+            ready = [self._await_ready(pipe) for pipe in pipes]
+            self.endpoints = [(host, port) for host, port, _ in ready]
+            self.metrics_ports = [metrics for _, _, metrics in ready]
         except Exception:
             self.stop()
             raise
@@ -153,14 +172,15 @@ class ServeSupervisor:
         return list(self.endpoints)
 
     @staticmethod
-    def _await_ready(pipe: _t.Any) -> _t.Tuple[str, int]:
+    def _await_ready(pipe: _t.Any) -> _t.Tuple[str, int, _t.Optional[int]]:
         if not pipe.poll(READY_TIMEOUT_S):
             raise RuntimeError(
                 f"server process not ready within {READY_TIMEOUT_S}s"
             )
         message = pipe.recv()
         if message[0] == "ready":
-            return (message[1], message[2])
+            metrics = message[3] if len(message) > 3 else None
+            return (message[1], message[2], metrics)
         raise RuntimeError(f"server process failed to start: {message[1]}")
 
     @property
@@ -181,6 +201,7 @@ class ServeSupervisor:
                 child.join(timeout=5.0)
         self._children = []
         self.endpoints = []
+        self.metrics_ports = []
 
     def __enter__(self) -> "ServeSupervisor":
         self.start()

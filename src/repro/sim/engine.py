@@ -97,6 +97,51 @@ class Timer:
         return f"<Timer {getattr(self.fn, '__qualname__', self.fn)!r} {state}>"
 
 
+class PeriodicTimer:
+    """A self-rearming :class:`Timer`: ``fn(arg)`` every ``interval``.
+
+    Created through :meth:`Environment.call_every`.  Cancellation stops
+    the rearm; the in-flight calendar entry is lazily discarded like any
+    cancelled timer.
+    """
+
+    __slots__ = ("env", "interval", "fn", "arg", "priority", "cancelled", "_timer")
+
+    def __init__(
+        self,
+        env: "Environment",
+        interval: float,
+        fn: _t.Callable[[_t.Any], None],
+        arg: _t.Any,
+        priority: int,
+    ) -> None:
+        self.env = env
+        self.interval = interval
+        self.fn = fn
+        self.arg = arg
+        self.priority = priority
+        self.cancelled = False
+        self._timer = env.call_later(interval, self._fire, arg, priority)
+
+    def _fire(self, arg: _t.Any) -> None:
+        self.fn(arg)
+        if not self.cancelled:
+            self._timer = self.env.call_later(
+                self.interval, self._fire, self.arg, self.priority
+            )
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._timer.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return (
+            f"<PeriodicTimer {getattr(self.fn, '__qualname__', self.fn)!r} "
+            f"every {self.interval} {state}>"
+        )
+
+
 class Environment:
     """Execution environment for a single simulation run.
 
@@ -184,6 +229,26 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), timer)
         )
         return timer
+
+    def call_every(
+        self,
+        interval: float,
+        fn: _t.Callable[[_t.Any], None],
+        arg: _t.Any = None,
+        priority: int = NORMAL,
+    ) -> "PeriodicTimer":
+        """Schedule ``fn(arg)`` every ``interval``, starting one from now.
+
+        The periodic hook behind the streamed metrics ticker: cheaper
+        and allocation-lighter than an equivalent ``timeout()``-yielding
+        process, and cancellable via the returned handle.  Note the
+        calendar only advances while *other* events exist -- a periodic
+        timer alone does not keep ``run(until=event)`` alive, it rides
+        along with the run.
+        """
+        if interval <= 0:
+            raise ValueError(f"non-positive interval {interval}")
+        return PeriodicTimer(self, interval, fn, arg, priority)
 
     def call_at(
         self,

@@ -1,0 +1,151 @@
+"""Live-realm observability: metrics admin frames, the HTTP exporter,
+and the in-run SLO remediation loop over the wire protocol."""
+
+import asyncio
+
+import pytest
+
+from repro.loadgen import run_live
+from repro.loadgen.transport import LiveTransport
+from repro.scenarios import get_scenario
+from repro.serve import LiveServer
+
+
+TIME_SCALE = 2.0
+
+
+def steady_config(**overrides):
+    return get_scenario("steady-state").build_config(
+        strategy="unifincr-credits", n_tasks=120, **overrides
+    )
+
+
+async def http_get(host, port, path="/metrics"):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head.decode("ascii"), body.decode("utf-8")
+
+
+class TestMetricsAdminFrame:
+    def test_fetch_metrics_returns_prometheus_text(self):
+        async def scenario():
+            config = steady_config()
+            server = LiveServer.from_config(
+                config, time_scale=TIME_SCALE, port=0
+            )
+            await server.start()
+            try:
+                transport = await LiveTransport.connect(
+                    [(server.host, server.port)]
+                )
+                try:
+                    return await transport.fetch_metrics()
+                finally:
+                    await transport.close()
+            finally:
+                await server.stop()
+
+        text = asyncio.run(scenario())
+        assert "repro_serve_connections" in text
+        assert 'repro_serve_worker_queued{worker="0"}' in text
+        # One gauge line per worker of the paper cluster.
+        assert text.count("repro_serve_worker_completed{") == 9
+        assert text.endswith("\n")
+
+
+class TestHttpExporter:
+    def test_scrape_mid_run(self):
+        async def scenario():
+            config = steady_config()
+            server = LiveServer.from_config(
+                config, time_scale=TIME_SCALE, port=0, metrics_port=0
+            )
+            await server.start()
+            assert server.metrics_port not in (None, 0)
+            try:
+                run = asyncio.ensure_future(
+                    run_live(
+                        config, seed=1, host=server.host, port=server.port
+                    )
+                )
+                await asyncio.sleep(0.1)  # let the run get going
+                head, body = await http_get(server.host, server.metrics_port)
+                result = await run
+            finally:
+                await server.stop()
+            return head, body, result
+
+        head, body, result = asyncio.run(scenario())
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert "text/plain" in head
+        assert "repro_serve_uptime_model_s" in body
+        assert "repro_serve_worker_busy_time_s" in body
+        assert result.tasks_completed == 120
+
+    def test_no_metrics_port_means_no_exporter(self):
+        async def scenario():
+            server = LiveServer.from_config(
+                steady_config(), time_scale=TIME_SCALE, port=0
+            )
+            await server.start()
+            try:
+                return server.metrics_port
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) is None
+
+
+class TestLiveRemediation:
+    def run_mode(self, mode, n_tasks=300):
+        async def scenario():
+            config = get_scenario("steady-state").build_config(
+                strategy="c3",
+                n_tasks=n_tasks,
+                remediation=mode,
+                slo_p99_ms=10.0,
+            )
+            server = LiveServer.from_config(
+                config, time_scale=TIME_SCALE, port=0
+            )
+            await server.start()
+            try:
+                return await run_live(
+                    config, seed=1, host=server.host, port=server.port
+                )
+            finally:
+                await server.stop()
+
+        return asyncio.run(scenario())
+
+    def test_monitor_mode_streams_without_acting(self):
+        result = self.run_mode("monitor")
+        assert result.tasks_completed == 300
+        assert result.extras["bus_snapshots"] > 0
+        assert result.extras["remediation_actions"] == 0.0
+        assert "slo_breach_windows" in result.extras
+        assert "slo_windows_evaluated" in result.extras
+
+    def test_slo_mode_runs_the_full_loop(self):
+        # At this scale wall-clock noise decides whether the detector
+        # fires, so assert the mechanism (driver ran, counters present,
+        # run unharmed), not a breach-count inequality -- the sim realm
+        # and the CI smoke own the deterministic comparison.
+        result = self.run_mode("slo")
+        assert result.tasks_completed == 300
+        assert result.extras["bus_snapshots"] > 0
+        assert result.extras["remediation_actions"] >= 0.0
+        assert result.extras["live_requests_rejected"] == 0.0
+
+    def test_off_mode_adds_no_metrics_extras(self):
+        result = self.run_mode("off", n_tasks=120)
+        assert result.tasks_completed == 120
+        assert "bus_snapshots" not in result.extras

@@ -1,0 +1,159 @@
+"""Unit tests for the streamed metrics bus primitives."""
+
+import pytest
+
+from repro.metrics.bus import (
+    BusEvent,
+    BusSampler,
+    BusSnapshot,
+    MetricsBus,
+    WindowedQuantiles,
+    prometheus_line,
+    render_prometheus,
+    snapshot_prometheus,
+)
+
+
+class TestWindowedQuantiles:
+    def test_quantiles_over_the_trailing_window(self):
+        wq = WindowedQuantiles(window=1.0)
+        for t, v in ((0.0, 1.0), (0.5, 2.0), (0.9, 3.0)):
+            wq.record(t, v)
+        assert wq.count(1.0) == 3
+        p50, p100 = wq.quantiles(1.0, (0.5, 1.0))
+        assert p50 == 2.0
+        assert p100 == 3.0
+
+    def test_events_evict_once_older_than_the_window(self):
+        wq = WindowedQuantiles(window=1.0)
+        wq.record(0.0, 10.0)
+        wq.record(2.0, 1.0)
+        assert wq.count(2.0) == 1
+        assert wq.quantiles(2.0, (0.99,)) == (1.0,)
+
+    def test_empty_window_reports_zero(self):
+        wq = WindowedQuantiles(window=1.0)
+        assert wq.count(5.0) == 0
+        assert wq.quantiles(5.0, (0.5, 0.99)) == (0.0, 0.0)
+
+    def test_time_regression_on_record_raises(self):
+        wq = WindowedQuantiles(window=1.0)
+        wq.record(1.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            wq.record(0.5, 2.0)
+
+    def test_stale_query_raises(self):
+        wq = WindowedQuantiles(window=1.0)
+        wq.record(1.0, 1.0)
+        with pytest.raises(ValueError, match="stale"):
+            wq.count(0.5)
+        with pytest.raises(ValueError, match="stale"):
+            wq.quantiles(0.5, (0.5,))
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedQuantiles(window=0.0)
+
+
+class TestBusSampler:
+    def test_snapshot_reports_windowed_rates_and_percentiles(self):
+        sampler = BusSampler(window=0.1)
+        for i in range(10):
+            sampler.observe_arrival(i * 0.01)
+            sampler.observe_completion(i * 0.01, latency=0.002 * (i + 1))
+        snap = sampler.snapshot(0.09, seq=1)
+        assert snap.window_count == 10
+        assert snap.completed == 10
+        assert snap.arrival_rate == pytest.approx(100.0)
+        assert snap.served_rate == pytest.approx(100.0)
+        # Latencies 2..20 ms; the p50 sits mid-range, the p99 near the top.
+        assert 8.0 <= snap.latency_p50_ms <= 14.0
+        assert 18.0 <= snap.latency_p99_ms <= 20.0
+
+    def test_queue_depths_are_windowed_means(self):
+        sampler = BusSampler(window=0.1)
+        sampler.observe_depths(0.00, (0.0, 4.0))
+        sampler.observe_depths(0.05, (2.0, 0.0))
+        snap = sampler.snapshot(0.05, seq=1)
+        assert snap.queue_depths == (1.0, 2.0)
+
+    def test_depth_samples_evict_with_the_window(self):
+        sampler = BusSampler(window=0.1)
+        sampler.observe_depths(0.0, (100.0,))
+        sampler.observe_depths(1.0, (2.0,))
+        snap = sampler.snapshot(1.0, seq=1)
+        assert snap.queue_depths == (2.0,)
+
+    def test_empty_sampler_snapshot_is_all_zero(self):
+        snap = BusSampler(window=0.1).snapshot(0.5, seq=3)
+        assert snap.window_count == 0
+        assert snap.latency_p99_ms == 0.0
+        assert snap.queue_depths == ()
+        assert snap.seq == 3
+
+    def test_snapshot_to_dict_is_json_friendly(self):
+        sampler = BusSampler(window=0.1)
+        sampler.observe_depths(0.0, (1.0, 2.0))
+        out = sampler.snapshot(0.0, seq=1).to_dict()
+        assert out["queue_depths"] == [1.0, 2.0]
+        assert set(out) == {
+            "time", "seq", "window", "window_count", "completed",
+            "latency_p50_ms", "latency_p99_ms", "arrival_rate",
+            "served_rate", "queue_depths",
+        }
+
+
+class TestMetricsBus:
+    def test_publish_fans_out_and_retains_history(self):
+        bus = MetricsBus()
+        seen = []
+        bus.subscribe(on_snapshot=seen.append)
+        snap = BusSampler().snapshot(0.0, seq=1)
+        bus.publish(snap)
+        assert seen == [snap]
+        assert bus.latest is snap
+        assert bus.published == 1
+
+    def test_events_reach_event_subscribers_only(self):
+        bus = MetricsBus()
+        snaps, events = [], []
+        bus.subscribe(on_snapshot=snaps.append, on_event=events.append)
+        event = BusEvent(0.5, "slo-breach", {"p99_ms": 12.0})
+        bus.emit(event)
+        assert events == [event]
+        assert snaps == []
+        assert event.to_dict()["detail"] == {"p99_ms": 12.0}
+
+    def test_history_ring_is_bounded(self):
+        bus = MetricsBus(history=2)
+        for seq in range(5):
+            bus.publish(BusSampler().snapshot(float(seq), seq=seq))
+        assert len(bus.snapshots) == 2
+        assert bus.latest.seq == 4
+        assert bus.published == 5
+
+    def test_latest_is_none_before_any_publish(self):
+        assert MetricsBus().latest is None
+
+
+class TestPrometheusRendering:
+    def test_line_with_and_without_labels(self):
+        assert prometheus_line("x_total", 3.0) == "x_total 3.0"
+        line = prometheus_line("depth", 2.0, {"server": 1})
+        assert line == 'depth{server="1"} 2.0'
+
+    def test_render_sanitizes_and_prefixes_keys(self):
+        text = render_prometheus({"p99 (ms)": 1.5})
+        assert text == "repro_p99__ms_ 1.5\n"
+
+    def test_snapshot_prometheus_has_per_server_depth_lines(self):
+        snapshot = BusSnapshot(
+            time=0.1, seq=2, window=0.1, window_count=5, completed=7,
+            latency_p50_ms=1.0, latency_p99_ms=9.0, arrival_rate=50.0,
+            served_rate=50.0, queue_depths=(0.0, 3.5),
+        )
+        text = snapshot_prometheus(snapshot)
+        assert "repro_latency_p99_ms 9.0" in text
+        assert 'repro_queue_depth{server="0"} 0.0' in text
+        assert 'repro_queue_depth{server="1"} 3.5' in text
+        assert text.endswith("\n")

@@ -1,0 +1,108 @@
+"""Hysteresis behavior of the SLO breach detector."""
+
+import pytest
+
+from repro.metrics.bus import BusSnapshot
+from repro.metrics.slo import BreachDetector, SloPolicy
+
+
+def snap(p99_ms, count=10, time=0.0):
+    return BusSnapshot(
+        time=time, seq=0, window=0.1, window_count=count, completed=count,
+        latency_p50_ms=p99_ms / 2, latency_p99_ms=p99_ms,
+        arrival_rate=100.0, served_rate=100.0, queue_depths=(),
+    )
+
+
+class TestSloPolicyValidation:
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError):
+            SloPolicy(p99_target_ms=0.0)
+
+    def test_rejects_non_positive_streaks(self):
+        with pytest.raises(ValueError):
+            SloPolicy(p99_target_ms=10.0, breach_after=0)
+        with pytest.raises(ValueError):
+            SloPolicy(p99_target_ms=10.0, clear_after=0)
+
+
+class TestHysteresis:
+    def test_breach_needs_consecutive_over_windows(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=2, clear_after=3)
+        )
+        assert detector.observe(snap(15.0)) is None  # 1 of 2
+        assert not detector.breached
+        assert detector.observe(snap(15.0)) == "breach"
+        assert detector.breached
+        assert detector.breaches == 1
+
+    def test_interrupted_streak_starts_over(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=2, clear_after=3)
+        )
+        assert detector.observe(snap(15.0)) is None
+        assert detector.observe(snap(5.0)) is None  # streak broken
+        assert detector.observe(snap(15.0)) is None  # back to 1 of 2
+        assert detector.observe(snap(15.0)) == "breach"
+
+    def test_clear_needs_longer_under_streak(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=2, clear_after=3)
+        )
+        detector.observe(snap(15.0))
+        detector.observe(snap(15.0))
+        assert detector.breached
+        assert detector.observe(snap(5.0)) is None  # 1 of 3
+        assert detector.observe(snap(5.0)) is None  # 2 of 3
+        assert detector.observe(snap(5.0)) == "clear"
+        assert not detector.breached
+
+    def test_flapping_inside_a_breach_does_not_clear(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=2, clear_after=3)
+        )
+        detector.observe(snap(15.0))
+        detector.observe(snap(15.0))
+        for p99 in (5.0, 5.0, 15.0, 5.0, 5.0):  # never 3 consecutive unders
+            assert detector.observe(snap(p99)) is None
+        assert detector.breached
+
+    def test_repeated_episodes_count_separately(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=1, clear_after=1)
+        )
+        assert detector.observe(snap(20.0)) == "breach"
+        assert detector.observe(snap(1.0)) == "clear"
+        assert detector.observe(snap(20.0)) == "breach"
+        assert detector.breaches == 2
+
+
+class TestWindowAccounting:
+    def test_thin_windows_are_skipped_entirely(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=1, min_window_count=5)
+        )
+        assert detector.observe(snap(100.0, count=4)) is None
+        assert not detector.breached
+        assert detector.windows_evaluated == 0
+
+    def test_breach_windows_count_every_over_window(self):
+        detector = BreachDetector(
+            SloPolicy(p99_target_ms=10.0, breach_after=2, clear_after=2)
+        )
+        for p99 in (15.0, 15.0, 15.0, 5.0, 5.0):
+            detector.observe(snap(p99))
+        assert detector.windows_evaluated == 5
+        assert detector.breach_windows == 3
+        assert detector.breaches == 1
+
+    def test_extras_are_float_valued(self):
+        detector = BreachDetector(SloPolicy(p99_target_ms=10.0))
+        detector.observe(snap(15.0))
+        extras = detector.extras()
+        assert extras["slo_windows_evaluated"] == 1.0
+        assert all(isinstance(v, float) for v in extras.values())
+        assert set(extras) == {
+            "slo_windows_evaluated", "slo_breach_windows", "slo_breaches",
+        }

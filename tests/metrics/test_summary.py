@@ -1,5 +1,7 @@
 """Unit tests for latency summaries and seed averaging."""
 
+import math
+
 import pytest
 
 from repro.metrics import (
@@ -44,6 +46,18 @@ class TestLatencySummary:
         slow = LatencySummary.from_recorder("slow", sample_of([2.0, 4.0]), (50.0,))
         fast = LatencySummary.from_recorder("fast", sample_of([1.0, 2.0]), (50.0,))
         assert slow.ratio_to(fast)[50.0] == pytest.approx(2.0)
+
+    def test_ratio_to_zero_denominator_is_inf(self):
+        # Degenerate windows (e.g. an all-zero bus snapshot) can report a
+        # zero percentile; the ratio must not raise ZeroDivisionError.
+        num = LatencySummary("num", 2, 1.0, {50.0: 1.0})
+        zero = LatencySummary("zero", 2, 0.0, {50.0: 0.0})
+        assert num.ratio_to(zero)[50.0] == math.inf
+
+    def test_ratio_to_zero_over_zero_is_nan(self):
+        zero_a = LatencySummary("a", 2, 0.0, {50.0: 0.0})
+        zero_b = LatencySummary("b", 2, 0.0, {50.0: 0.0})
+        assert math.isnan(zero_a.ratio_to(zero_b)[50.0])
 
     def test_ratio_requires_shared_percentiles(self):
         a = LatencySummary.from_recorder("a", sample_of([1.0]), (50.0,))

@@ -48,11 +48,41 @@ class TestTimeSeries:
 
 
 class TestWindowedRate:
-    def test_rate_within_window(self):
+    def test_rate_during_warmup_uses_elapsed_time(self):
+        # 4 events over 0.4s of elapsed time: the true rate is 10/s, not
+        # the 4/s the old full-window denominator reported.
         wr = WindowedRate(window=1.0)
         for t in (0.1, 0.2, 0.3, 0.4):
             wr.record(t)
-        assert wr.rate(0.5) == pytest.approx(4.0)
+        assert wr.rate(0.5) == pytest.approx(4.0 / 0.4)
+
+    def test_rate_after_full_window_divides_by_window(self):
+        wr = WindowedRate(window=1.0)
+        for t in (0.1, 0.2, 0.3, 0.4):
+            wr.record(t)
+        # A full window has elapsed since the first event: back to /window
+        # (the event at 0.1 has left the [0.2, 1.2] window).
+        assert wr.rate(1.2) == pytest.approx(3.0 / 1.0)
+
+    def test_rate_at_first_event_is_clamped_not_infinite(self):
+        wr = WindowedRate(window=1.0)
+        wr.record(5.0)
+        rate = wr.rate(5.0)
+        assert math.isfinite(rate)
+        assert rate == pytest.approx(1.0 / 1e-6)
+
+    def test_warmup_denominator_tracks_first_event_not_eviction(self):
+        wr = WindowedRate(window=1.0)
+        wr.record(0.0)
+        wr.record(0.5)
+        # 1.2s after the first event: the warm-up clamp no longer applies
+        # even though the first event itself was evicted.
+        assert wr.rate(1.2) == pytest.approx(1.0 / 1.0)
+
+    def test_empty_rate_is_zero(self):
+        wr = WindowedRate(window=1.0)
+        assert wr.rate(10.0) == 0.0
+        assert wr.count(10.0) == 0.0
 
     def test_eviction(self):
         wr = WindowedRate(window=1.0)
@@ -65,7 +95,24 @@ class TestWindowedRate:
         wr.record(0.0, weight=3.0)
         wr.record(1.0, weight=1.0)
         assert wr.count(1.5) == 4.0
-        assert wr.rate(1.5) == pytest.approx(2.0)
+        assert wr.rate(1.5) == pytest.approx(4.0 / 1.5)
+
+    def test_stale_query_raises(self):
+        # Events recorded after `now` must not be silently counted: a
+        # stale-clock query would overstate the rate.
+        wr = WindowedRate(window=1.0)
+        wr.record(1.0)
+        wr.record(2.0)
+        with pytest.raises(ValueError, match="stale"):
+            wr.rate(1.5)
+        with pytest.raises(ValueError, match="stale"):
+            wr.count(1.5)
+
+    def test_query_at_latest_event_time_is_allowed(self):
+        wr = WindowedRate(window=1.0)
+        wr.record(1.0)
+        wr.record(2.0)
+        assert wr.count(2.0) == 2.0
 
     def test_rejects_time_regression(self):
         wr = WindowedRate(window=1.0)

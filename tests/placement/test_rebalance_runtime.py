@@ -166,3 +166,60 @@ class TestRebalanceRuns:
         # 40% directed draws, plus the base model's incidental hits on the
         # shard (~1/9 of base draws); uniform routing would give ~11%.
         assert hits / 2000 > 0.35
+
+
+class TestBoost:
+    """Replica spreading: the hot-shard remediation lever."""
+
+    def test_boost_widens_the_replica_set(self):
+        placement = MutablePlacement(RingPlacement(9, replication_factor=3))
+        base = placement.replicas_of(0)
+        extras = tuple(s for s in range(9) if s not in base)[:2]
+        placement.boost(0, extras)
+        widened = placement.replicas_of(0)
+        assert set(widened) == set(base) | set(extras)
+        # Other partitions are untouched.
+        for p in range(1, placement.n_partitions):
+            assert extras[0] not in placement.replicas_of(p) or extras[
+                0
+            ] in RingPlacement(9, replication_factor=3).replicas_of(p)
+
+    def test_unboost_restores_the_base_set(self):
+        placement = MutablePlacement(RingPlacement(9, replication_factor=3))
+        base = placement.replicas_of(2)
+        extra = next(s for s in range(9) if s not in base)
+        placement.boost(2, (extra,))
+        placement.unboost(2)
+        assert placement.replicas_of(2) == base
+        assert placement.boosted == {}
+
+    def test_boost_and_unboost_bump_the_swap_counter(self):
+        placement = MutablePlacement(RingPlacement(9, replication_factor=3))
+        extra = next(s for s in range(9) if s not in placement.replicas_of(0))
+        placement.boost(0, (extra,))
+        swaps = placement.swaps
+        placement.unboost(0)
+        assert placement.swaps == swaps + 1
+
+    def test_excluded_servers_drop_out_of_boosted_sets(self):
+        placement = MutablePlacement(RingPlacement(9, replication_factor=3))
+        base = placement.replicas_of(0)
+        extras = tuple(s for s in range(9) if s not in base)[:2]
+        placement.boost(0, extras)
+        placement.exclude((extras[0],))
+        replicas = placement.replicas_of(0)
+        assert extras[0] not in replicas
+        assert extras[1] in replicas
+        placement.readmit((extras[0],))
+        assert extras[0] in placement.replicas_of(0)
+
+    def test_boost_validates_its_arguments(self):
+        placement = MutablePlacement(RingPlacement(9, replication_factor=3))
+        with pytest.raises(ValueError, match="out of range"):
+            placement.boost(99, (1,))
+        with pytest.raises(ValueError, match="out of range"):
+            placement.boost(0, (42,))
+        with pytest.raises(ValueError, match="at least one"):
+            placement.boost(0, ())
+        with pytest.raises(ValueError, match="not boosted"):
+            placement.unboost(3)

@@ -152,3 +152,69 @@ class TestBuildConfigOverrides:
 
         with pytest.raises(ValueError, match="cannot be overridden"):
             get_scenario("steady-state").build_config(scenario="other")
+
+
+class TestRemediatedPairs:
+    """The ``*-remediated`` twins close the SLO loop on a fault scenario."""
+
+    PAIRS = (
+        ("hot-shard", "hot-shard-remediated"),
+        ("flash-crowd", "flash-crowd-remediated"),
+        ("crash-restart", "crash-restart-remediated"),
+    )
+
+    def test_pairs_are_registered(self):
+        names = scenario_names()
+        for base, remediated in self.PAIRS:
+            assert base in names
+            assert remediated in names
+
+    def test_remediated_twins_enable_the_slo_loop(self):
+        from repro.scenarios.library import REMEDIATION_SLO_P99_MS
+
+        for _, remediated in self.PAIRS:
+            cfg = get_scenario(remediated).build_config(n_tasks=10)
+            assert cfg.remediation == "slo"
+            assert cfg.slo_p99_ms == REMEDIATION_SLO_P99_MS
+
+    def test_twins_share_the_fault_shape(self):
+        for base, remediated in self.PAIRS:
+            base_cfg = get_scenario(base).build_config(n_tasks=10)
+            rem_cfg = get_scenario(remediated).build_config(n_tasks=10)
+            assert [f.kind for f in base_cfg.faults().events] == [
+                f.kind for f in rem_cfg.faults().events
+            ]
+
+    def test_remediated_run_conserves_and_streams(self):
+        cfg = get_scenario("hot-shard-remediated").build_config(
+            strategy="c3", n_tasks=800, n_keys=2000
+        )
+        result = run_experiment(cfg, seed=1)
+        assert result.tasks_completed == 800
+        assert result.extras["bus_snapshots"] > 0
+        assert "slo_breach_windows" in result.extras
+        assert "remediation_actions" in result.extras
+
+    def test_slo_mode_beats_monitor_on_the_hot_shard(self):
+        """The acceptance comparison: same seed, same fault, the only
+        difference is whether the detector's policy may act.  Remediation
+        must strictly reduce both breach windows and the windowed p99."""
+        spec = get_scenario("hot-shard")
+        runs = {}
+        for mode in ("monitor", "slo"):
+            cfg = spec.build_config(
+                strategy="c3",
+                n_tasks=3000,
+                remediation=mode,
+                slo_p99_ms=10.0,
+            )
+            runs[mode] = run_experiment(cfg, seed=1)
+        monitor, slo = runs["monitor"], runs["slo"]
+        assert monitor.tasks_completed == slo.tasks_completed == 3000
+        assert monitor.extras["remediation_actions"] == 0.0
+        assert slo.extras["remediation_actions"] >= 1.0
+        assert (
+            slo.extras["slo_breach_windows"]
+            < monitor.extras["slo_breach_windows"]
+        )
+        assert slo.summary().p99 < monitor.summary().p99

@@ -125,3 +125,69 @@ class TestDeterminism:
             ev.callbacks.append(lambda e: order.append(e.value))
         env.run()
         assert order == list(range(10))
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval_until_run_ends(self):
+        env = Environment()
+        ticks = []
+        env.call_every(0.1, lambda _: ticks.append(env.now))
+        env.run(until=0.55)
+        assert ticks == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_cancel_stops_the_rearm(self):
+        env = Environment()
+        ticks = []
+        timer = env.call_every(0.1, lambda _: ticks.append(env.now))
+
+        def canceller(env):
+            yield env.timeout(0.25)
+            timer.cancel()
+
+        env.process(canceller(env))
+        env.run(until=1.0)
+        assert ticks == pytest.approx([0.1, 0.2])
+
+    def test_cancel_from_inside_the_callback(self):
+        env = Environment()
+        ticks = []
+
+        def tick(_):
+            ticks.append(env.now)
+            if len(ticks) == 3:
+                timer.cancel()
+
+        timer = env.call_every(0.1, tick)
+        env.run(until=1.0)
+        assert len(ticks) == 3
+
+    def test_argument_is_threaded_through(self):
+        env = Environment()
+        seen = []
+        env.call_every(0.5, seen.append, arg="payload")
+        env.run(until=1.1)
+        assert seen == ["payload", "payload"]
+
+    def test_non_positive_interval_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="interval"):
+            env.call_every(0.0, lambda _: None)
+        with pytest.raises(ValueError, match="interval"):
+            env.call_every(-1.0, lambda _: None)
+
+    def test_periodic_timer_rides_along_with_processes(self):
+        """An uncancelled periodic timer keeps rearming, so an unbounded
+        ``run()`` only drains once its owner cancels it -- the runner's
+        teardown contract for the metrics ticker."""
+        env = Environment()
+        ticks = []
+        timer = env.call_every(0.1, lambda _: ticks.append(env.now))
+
+        def worker(env):
+            yield env.timeout(0.35)
+            timer.cancel()
+
+        env.process(worker(env))
+        env.run()
+        assert ticks == pytest.approx([0.1, 0.2, 0.3])
+        assert env.now <= 0.45
