@@ -111,7 +111,38 @@ def measure_throughput():
             "n_tasks": N_TASKS,
             "normalized": best_events / spins,
         }
+    out["tracing"] = measure_tracing_cells(spins)
     return out
+
+
+def measure_tracing_cells(spins, strategy="unifincr-credits"):
+    """Tracing-off and tracing-on cells for the overhead guard.
+
+    ``off`` exercises the exact production default (recorder never
+    constructed); ``on`` samples every post-warmup task, which is the
+    worst case — real deployments sample a few percent.
+    """
+    cells = {}
+    for label, sample in (("off", 0.0), ("on", 1.0)):
+        config = get_scenario("steady-state").build_config(
+            strategy=strategy, n_tasks=N_TASKS, trace_sample=sample
+        )
+        best = 0.0
+        for _ in range(max(2, REPEATS - 1)):
+            t0 = time.perf_counter()
+            result = run_experiment(config, seed=1)
+            elapsed = time.perf_counter() - t0
+            best = max(best, result.events_processed / elapsed)
+        cells[label] = {
+            "trace_sample": sample,
+            "events_per_sec": best,
+            "normalized": best / spins,
+        }
+    cells["strategy"] = strategy
+    cells["overhead_on_pct"] = 100.0 * (
+        1.0 - cells["on"]["events_per_sec"] / cells["off"]["events_per_sec"]
+    )
+    return cells
 
 
 def _attach_baseline(data):
@@ -167,6 +198,13 @@ def test_event_throughput_bench():
         )
     for name, ratio in sorted(data.get("speedup_vs_pre_pr", {}).items()):
         lines.append(f"  speedup vs pre-overhaul [{name}]: {ratio:.2f}x")
+    tracing = data["tracing"]
+    lines.append(
+        f"  tracing off/on [{tracing['strategy']}]: "
+        f"{tracing['off']['events_per_sec']:,.0f} / "
+        f"{tracing['on']['events_per_sec']:,.0f} events/s "
+        f"(full-sampling cost {tracing['overhead_on_pct']:.1f}%)"
+    )
     report = "\n".join(lines)
     print("\n" + report)
     save_report("event_throughput", report, data=data)
@@ -177,3 +215,10 @@ def test_event_throughput_bench():
     assert data["micro_callback"]["events_per_sec"] > data["micro"]["events_per_sec"] * 0.8
     for strategy in STRATEGIES:
         assert data["strategies"][strategy]["events_per_sec"] > 5_000
+    # Tracing-off must be free: the recorder is never constructed, so the
+    # cell may not sit more than 5% below the same strategy's plain cell
+    # (both measured this session, so machine speed cancels).
+    plain = data["strategies"][tracing["strategy"]]["events_per_sec"]
+    assert tracing["off"]["events_per_sec"] > plain * 0.95
+    # Full sampling is bounded observation cost, not a rewrite of the run.
+    assert tracing["on"]["events_per_sec"] > plain * 0.5

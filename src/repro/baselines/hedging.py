@@ -168,6 +168,7 @@ class HedgedStrategy(DispatchStrategy):
                 client_id=primary.client_id,
                 partition=primary.partition,
                 expected_service=primary.expected_service,
+                hedge=True,
             )
             hedge.created_at = primary.created_at
             hedge.server_id = self.selector.choose(replicas, hedge)

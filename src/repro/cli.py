@@ -9,10 +9,15 @@ Commands
 ``figure2``    the headline evaluation across strategies and seeds
 ``serve``      start the live asyncio multiget KV service
 ``loadgen``    drive a live service with a scenario's workload + faults
-``watch``      poll a live cluster's metrics mid-run (admin plane)
+``watch``      poll a live cluster's metrics mid-run (admin plane; ``--json``)
 ``firehose``   saturate a live service (wire-path throughput ceiling)
 ``compare``    sim vs live differential for one scenario
-``trace``      generate / inspect workload traces
+``trace``      workload traces + span-tree tail attribution (see below)
+
+``run`` and ``loadgen`` accept ``--trace-sample`` / ``--trace-out`` to
+record span trees for a deterministic sample of multigets; ``trace
+attribution`` / ``trace slowest`` / ``trace diff`` analyse the resulting
+JSONL artifacts (docs/observability.md has the full workflow).
 ``ring``       inspect / perturb the replica-placement ring
 ``cache``      inspect / clear the on-disk result cache
 ``strategies`` list the registered strategy builders
@@ -30,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import typing as _t
 
@@ -87,6 +93,66 @@ def _remediation_overrides(args: argparse.Namespace) -> _t.Dict[str, _t.Any]:
     return overrides
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-sample", type=float, default=None, metavar="RATE",
+                   help="record span trees for this fraction of post-warmup "
+                        "multigets (deterministic per task id; the schedule "
+                        "is unchanged)")
+    p.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                   help="write the sampled span trees as a JSONL trace "
+                        "artifact for `repro trace attribution` (implies "
+                        "--trace-sample 1.0 unless given)")
+
+
+def _trace_overrides(args: argparse.Namespace) -> _t.Dict[str, _t.Any]:
+    overrides: _t.Dict[str, _t.Any] = {}
+    if args.trace_sample is not None:
+        overrides["trace_sample"] = args.trace_sample
+    elif args.trace_out is not None:
+        overrides["trace_sample"] = 1.0
+    return overrides
+
+
+def _write_trace_artifact(
+    path: str,
+    config: ExperimentConfig,
+    scenario: str,
+    realm: str,
+    seeds: _t.Sequence[int],
+    results: _t.Sequence[_t.Any],
+) -> None:
+    """Append one meta + trace block per seed to a JSONL artifact."""
+    from .trace import write_traces
+
+    total = 0
+    missing = 0
+    for index, (seed, result) in enumerate(zip(seeds, results)):
+        if result.traces is None:
+            missing += 1
+        total += write_traces(
+            path,
+            result.traces or (),
+            meta={
+                "strategy": config.strategy,
+                "scenario": scenario,
+                "seed": seed,
+                "realm": realm,
+                "sample": config.trace_sample,
+                "n_tasks": config.n_tasks,
+                "warmup_tasks": int(config.warmup_fraction * config.n_tasks),
+            },
+            append=index > 0,
+        )
+    print(f"traces: {total} span tree(s) -> {path}")
+    if missing:
+        print(
+            f"note: {missing} run(s) carried no traces (cached results "
+            "store only the golden summary; rerun without --cache to "
+            "record spans)",
+            file=sys.stderr,
+        )
+
+
 def _add_run(subparsers: argparse._SubParsersAction) -> None:
     p = subparsers.add_parser("run", help="run a single experiment")
     p.add_argument("--strategy", default="unifincr-credits", choices=KNOWN_STRATEGIES)
@@ -103,6 +169,7 @@ def _add_run(subparsers: argparse._SubParsersAction) -> None:
     p.add_argument("--slow-server", type=int, default=None,
                    help="inject a 3x slowdown on this server id")
     _add_remediate_flags(p)
+    _add_trace_flags(p)
     _add_parallel_flags(p)
     p.set_defaults(func=_cmd_run)
 
@@ -116,6 +183,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.slow_server is not None:
         overrides["slowdown_server"] = args.slow_server
     overrides.update(_remediation_overrides(args))
+    overrides.update(_trace_overrides(args))
     try:
         if args.scenario is not None:
             config = get_scenario(args.scenario).build_config(
@@ -139,6 +207,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(mean)
         spread = comparison.strategies[config.strategy].percentile_spread(99.0)
         print(f"p99 across seeds: {spread[0] * 1e3:.3f}..{spread[1] * 1e3:.3f} ms")
+        if args.trace_out is not None:
+            _write_trace_artifact(
+                args.trace_out, config, args.scenario or "custom", "sim",
+                seeds, runs,
+            )
         return 0
     print(f"running {config.describe()} (seed {args.seed})")
     for line in config.faults().describe():
@@ -151,6 +224,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rows.append({"metric": "events_processed", "value": result.events_processed})
     rows.append({"metric": "sim_duration_s", "value": result.sim_duration})
     print(render_table(rows))
+    if args.trace_out is not None:
+        _write_trace_artifact(
+            args.trace_out, config, args.scenario or "custom", "sim",
+            (args.seed,), (result,),
+        )
     return 0
 
 
@@ -382,6 +460,50 @@ def _add_trace(subparsers: argparse._SubParsersAction) -> None:
     stats.add_argument("path")
     stats.set_defaults(func=_cmd_trace_stats)
 
+    attr = sub.add_parser(
+        "attribution",
+        help="critical-path tail attribution per (strategy, scenario)",
+        description="Read JSONL span-trace artifacts (from `repro run "
+                    "--trace-out` / `repro loadgen --trace-out`) and print "
+                    "one tail-attribution table per (strategy, scenario) "
+                    "group: each critical-path segment kind's share of the "
+                    "summed tail latency, with queue_wait broken down by "
+                    "partition. Shares always sum to 100%.",
+    )
+    attr.add_argument("files", nargs="+", help="JSONL trace artifacts")
+    attr.add_argument("--tail", type=float, default=99.0, metavar="P",
+                      help="tail percentile defining the analysed set")
+    attr.add_argument("--json", action="store_true",
+                      help="machine-readable output (one JSON array)")
+    attr.set_defaults(func=_cmd_trace_attribution)
+
+    slow = sub.add_parser(
+        "slowest",
+        help="exemplar dump of the K slowest traces per group",
+    )
+    slow.add_argument("files", nargs="+", help="JSONL trace artifacts")
+    slow.add_argument("-k", type=int, default=5, dest="k", metavar="K",
+                      help="traces per group, slowest first")
+    slow.set_defaults(func=_cmd_trace_slowest)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two groups' tail attributions side by side",
+        description="Diff the tail attribution of two (strategy, scenario) "
+                    "groups. With exactly two groups across the given "
+                    "files, they are compared in sorted order; otherwise "
+                    "pick them with --a/--b (STRATEGY or "
+                    "STRATEGY/SCENARIO).",
+    )
+    diff.add_argument("files", nargs="+", help="JSONL trace artifacts")
+    diff.add_argument("--tail", type=float, default=99.0, metavar="P",
+                      help="tail percentile defining the analysed sets")
+    diff.add_argument("--a", default=None, metavar="SEL",
+                      help="group A selector: STRATEGY or STRATEGY/SCENARIO")
+    diff.add_argument("--b", default=None, metavar="SEL",
+                      help="group B selector: STRATEGY or STRATEGY/SCENARIO")
+    diff.set_defaults(func=_cmd_trace_diff)
+
 
 def _cmd_trace_generate(args: argparse.Namespace) -> int:
     workload = make_soundcloud_workload(
@@ -390,6 +512,115 @@ def _cmd_trace_generate(args: argparse.Namespace) -> int:
     trace = workload.generate(seed=args.seed)
     save_trace(args.path, trace, metadata={"seed": args.seed})
     print(f"wrote {len(trace)} tasks to {args.path}")
+    return 0
+
+
+def _load_trace_groups(files: _t.Sequence[str]) -> _t.Any:
+    """Load span-trace artifacts or exit-worthy None (message printed)."""
+    from .trace import load_traces
+
+    try:
+        groups = load_traces(files)
+    except (OSError, ValueError) as exc:
+        print(f"bad trace artifact: {exc}", file=sys.stderr)
+        return None
+    if not groups:
+        print("no trace groups in the given files", file=sys.stderr)
+        return None
+    return groups
+
+
+def _select_trace_group(groups: _t.Any, selector: str) -> _t.Any:
+    """Resolve a STRATEGY or STRATEGY/SCENARIO selector to one group."""
+    if "/" in selector:
+        strategy, _, scenario = selector.partition("/")
+        matches = [
+            g for g in groups
+            if g.strategy == strategy and g.scenario == scenario
+        ]
+    else:
+        matches = [g for g in groups if g.strategy == selector]
+    if len(matches) != 1:
+        known = ", ".join(f"{g.strategy}/{g.scenario}" for g in groups)
+        raise ValueError(
+            f"selector {selector!r} matches {len(matches)} group(s); "
+            f"available: {known}"
+        )
+    return matches[0]
+
+
+def _cmd_trace_attribution(args: argparse.Namespace) -> int:
+    from .trace import attribution, render_attribution
+
+    groups = _load_trace_groups(args.files)
+    if groups is None:
+        return 2
+    try:
+        results = [attribution(g, tail=args.tail) for g in groups]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+        return 0
+    for index, result in enumerate(results):
+        if index:
+            print()
+        print(render_attribution(result))
+    return 0
+
+
+def _cmd_trace_slowest(args: argparse.Namespace) -> int:
+    from .trace import render_slowest, slowest
+
+    groups = _load_trace_groups(args.files)
+    if groups is None:
+        return 2
+    if args.k < 1:
+        print("-k must be at least 1", file=sys.stderr)
+        return 2
+    for index, group in enumerate(groups):
+        if index:
+            print()
+        print(render_slowest(group, slowest(group, k=args.k)))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .trace import attribution, render_diff
+
+    groups = _load_trace_groups(args.files)
+    if groups is None:
+        return 2
+    if (args.a is None) != (args.b is None):
+        print("--a and --b must be given together", file=sys.stderr)
+        return 2
+    if args.a is None:
+        if len(groups) != 2:
+            print(
+                f"found {len(groups)} trace group(s); diff needs exactly "
+                "two (or explicit --a/--b selectors)",
+                file=sys.stderr,
+            )
+            return 2
+        group_a, group_b = groups
+    else:
+        try:
+            group_a = _select_trace_group(groups, args.a)
+            group_b = _select_trace_group(groups, args.b)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    try:
+        print(
+            render_diff(
+                attribution(group_a, tail=args.tail),
+                attribution(group_b, tail=args.tail),
+            )
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -548,6 +779,7 @@ def _add_loadgen(subparsers: argparse._SubParsersAction) -> None:
     p.add_argument("--out", type=str, default=None,
                    help="write the summary JSON (sim-identical schema) here")
     _add_remediate_flags(p)
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_loadgen)
 
 
@@ -606,6 +838,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             n_tasks=args.tasks,
             **_remediation_overrides(args),
+            **_trace_overrides(args),
         )
     except ValueError as exc:
         print(f"bad configuration: {exc}", file=sys.stderr)
@@ -683,6 +916,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dumps(summary, indent=2), encoding="utf-8"
         )
         print(f"summary -> {args.out}")
+    if args.trace_out is not None:
+        _write_trace_artifact(
+            args.trace_out, config, args.scenario, "live", seeds, results,
+        )
     return 0
 
 
@@ -692,10 +929,14 @@ def _add_watch(subparsers: argparse._SubParsersAction) -> None:
         help="poll a live cluster's metrics over the admin plane",
         description="Connect to a running `repro serve` cluster and poll "
                     "its metrics mid-run: one compact line per interval "
-                    "(completed ops, ops/s, per-worker backlog), or the raw "
-                    "Prometheus exposition text with --prometheus -- the "
-                    "same page `repro serve --metrics-port` exports over "
-                    "HTTP. Stops after --count polls or on Ctrl-C.",
+                    "(completed ops, ops/s, per-worker backlog), one JSON "
+                    "object per poll with --json, or the raw Prometheus "
+                    "exposition text with --prometheus -- the same page "
+                    "`repro serve --metrics-port` exports over HTTP. When "
+                    "a load generator streams its client-side metrics bus "
+                    "to the cluster (`repro loadgen --remediate ...`), the "
+                    "poll also reports cluster-wide client-side windowed "
+                    "p50/p99. Stops after --count polls or on Ctrl-C.",
     )
     p.add_argument("--host", default=None)
     p.add_argument("--port", type=int, default=None)
@@ -709,7 +950,42 @@ def _add_watch(subparsers: argparse._SubParsersAction) -> None:
     p.add_argument("--prometheus", action="store_true",
                    help="dump Prometheus text each poll instead of the "
                         "compact line")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per poll instead of the "
+                        "compact line")
     p.set_defaults(func=_cmd_watch)
+
+
+def _combine_client_bus(
+    snapshots: _t.Mapping[str, _t.Mapping[str, _t.Any]],
+) -> _t.Optional[_t.Dict[str, _t.Any]]:
+    """Fold per-reporter client-bus snapshots into one cluster-wide view.
+
+    Counts and rates add across reporters.  Percentiles cannot be merged
+    exactly from summaries, so the p50 is the window-count-weighted mean
+    and the p99 the max across reporters (conservative: never understates
+    the worst client's tail).  With one load generator — the common case —
+    both are exact.
+    """
+    reporters = list(snapshots.values())
+    if not reporters:
+        return None
+    window_count = sum(int(s.get("window_count", 0)) for s in reporters)
+    weight = max(1, window_count)
+    return {
+        "reporters": sorted(snapshots),
+        "window_count": window_count,
+        "completed": sum(int(s.get("completed", 0)) for s in reporters),
+        "arrival_rate": sum(float(s.get("arrival_rate", 0.0)) for s in reporters),
+        "served_rate": sum(float(s.get("served_rate", 0.0)) for s in reporters),
+        "latency_p50_ms": sum(
+            float(s.get("latency_p50_ms", 0.0)) * int(s.get("window_count", 0))
+            for s in reporters
+        ) / weight,
+        "latency_p99_ms": max(
+            float(s.get("latency_p99_ms", 0.0)) for s in reporters
+        ),
+    }
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -733,10 +1009,17 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if args.interval <= 0:
         print("--interval must be positive", file=sys.stderr)
         return 2
+    if args.prometheus and args.json:
+        print("--prometheus and --json are mutually exclusive", file=sys.stderr)
+        return 2
 
     async def watch() -> int:
         transport = await LiveTransport.connect(endpoints)
         try:
+            # Gate optional admin commands on the hello-ack advertisement:
+            # probing an old server would poison the stream with an error
+            # frame instead of a clean "not supported".
+            has_client_bus = "client-bus" in transport.features
             last_completed: _t.Optional[int] = None
             last_at = _time.monotonic()
             polls = 0
@@ -748,30 +1031,58 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                         transport.fetch_metrics(), timeout=10
                     )
                     print(text, end="", flush=True)
-                else:
-                    stats = await asyncio.wait_for(
-                        transport.fetch_stats(), timeout=10
-                    )
-                    now = _time.monotonic()
-                    completed = int(stats.get("completed", 0))
-                    if last_completed is None:
-                        rate = 0.0
-                    else:
-                        rate = (completed - last_completed) / max(
-                            now - last_at, 1e-9
+                    polls += 1
+                    continue
+                stats = await asyncio.wait_for(
+                    transport.fetch_stats(), timeout=10
+                )
+                client = None
+                if has_client_bus:
+                    client = _combine_client_bus(
+                        await asyncio.wait_for(
+                            transport.fetch_client_bus(), timeout=10
                         )
-                    last_completed, last_at = completed, now
+                    )
+                now = _time.monotonic()
+                completed = int(stats.get("completed", 0))
+                if last_completed is None:
+                    rate = 0.0
+                else:
+                    rate = (completed - last_completed) / max(
+                        now - last_at, 1e-9
+                    )
+                last_completed, last_at = completed, now
+                if args.json:
+                    record = {
+                        "poll": polls,
+                        "completed": completed,
+                        "ops_per_s": rate,
+                        "uptime_model_s": float(
+                            stats.get("uptime_model_s", 0.0)
+                        ),
+                        "traced_ops": int(stats.get("traced_ops", 0)),
+                        "workers": stats.get("workers", []),
+                        "client_bus": client,
+                    }
+                    print(json.dumps(record), flush=True)
+                else:
                     backlog = " ".join(
                         f"w{w.get('worker')}:"
                         f"{int(w.get('queued', 0)) + int(w.get('in_service', 0))}"
                         for w in stats.get("workers", [])
                     )
-                    print(
+                    line = (
                         f"[watch] completed={completed} ops/s={rate:,.0f} "
                         f"uptime={float(stats.get('uptime_model_s', 0.0)):.2f}"
-                        f"model-s backlog {backlog}",
-                        flush=True,
+                        f"model-s backlog {backlog}"
                     )
+                    if client is not None:
+                        line += (
+                            f" | client p50={client['latency_p50_ms']:.2f}ms"
+                            f" p99={client['latency_p99_ms']:.2f}ms"
+                            f" ({len(client['reporters'])} reporter(s))"
+                        )
+                    print(line, flush=True)
                 polls += 1
             return 0
         finally:
@@ -782,7 +1093,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         return 0
     except (ConnectionError, OSError, LiveTransportError) as exc:
-        print(f"watch failed: {exc}", file=sys.stderr)
+        message = str(exc)
+        if "admin" in message and "unknown" in message:
+            print(
+                f"watch failed: {exc}\n"
+                "the server rejected the metrics admin command -- it "
+                "predates metrics admin support. Restart it from this "
+                "checkout (`repro serve`), or point --endpoints at a "
+                "current cluster.",
+                file=sys.stderr,
+            )
+        else:
+            print(f"watch failed: {exc}", file=sys.stderr)
         return 1
 
 
@@ -1273,7 +1595,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: _t.Optional[_t.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (`repro trace ... | head`) closed stdout;
+        # swap in devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

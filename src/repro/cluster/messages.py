@@ -43,6 +43,8 @@ class RequestMessage:
     expected_service: float = 0.0
     #: Cost of the bottleneck sub-task of the enclosing task.
     bottleneck_cost: float = 0.0
+    #: True for speculative duplicates issued by the hedging strategy.
+    hedge: bool = False
 
     # -- life-cycle timestamps (virtual time; -1 = not yet) -----------------
     created_at: float = -1.0

@@ -94,6 +94,9 @@ class ExperimentConfig:
     metrics_interval: float = 0.02
     #: Trailing window the bus percentiles cover (model seconds).
     metrics_window: float = 0.1
+    #: Fraction of (post-warmup) tasks to trace as span trees; 0 disables
+    #: tracing entirely (no recorder, no observers -- the default).
+    trace_sample: float = 0.0
 
     def __post_init__(self) -> None:
         if self.strategy not in KNOWN_STRATEGIES:
@@ -150,6 +153,8 @@ class ExperimentConfig:
             raise ValueError("slo_p99_ms must be positive")
         if self.metrics_interval <= 0 or self.metrics_window <= 0:
             raise ValueError("metrics intervals must be positive")
+        if not (0.0 <= self.trace_sample <= 1.0):
+            raise ValueError("trace_sample must be in [0, 1]")
 
     # -- derived ---------------------------------------------------------------
     def faults(self) -> FaultSchedule:

@@ -64,6 +64,10 @@ class RunResult:
     requests_served: int
     #: Audit counters (congestion signals, grants, gated requests, ...).
     extras: _t.Dict[str, float]
+    #: Sampled span trees (only when ``config.trace_sample > 0``).  Not
+    #: part of :meth:`to_dict`: the golden byte-equality contract covers
+    #: the schedule, and tracing is observation, not schedule.
+    traces: _t.Optional[_t.List["TaskTrace"]] = None
 
     def summary(
         self, percentiles: _t.Sequence[float] = DEFAULT_PERCENTILES
@@ -183,16 +187,44 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
         env, config.n_tasks, warmup_tasks, config.record_requests
     )
 
+    # Tracing rides the same observation hooks as request recording: it
+    # adds no calendar events and draws from no RNG stream, so schedules
+    # (and therefore goldens) are identical with or without it.  With
+    # sampling off no recorder exists at all.
+    recorder: _t.Optional[TraceRecorder] = None
+    if config.trace_sample > 0.0:
+        from ..trace import TraceRecorder as _TraceRecorder
+
+        recorder = _TraceRecorder(env, config.trace_sample, warmup_tasks)
+
     # The remediation driver (if any) is assembled after the servers
     # exist, but completion callbacks only fire once env.run starts, so
     # a late-bound closure over ``remediation`` is safe.
     remediation: _t.Optional[RemediationDriver] = None
     on_complete: _t.Callable[[TaskCompletion], None] = tracker.on_complete
-    if config.remediation != "off":
+    if config.remediation != "off" or recorder is not None:
+        _recorder = recorder
 
         def on_complete(completion: TaskCompletion) -> None:
-            remediation.observe_completion(completion.latency)
+            if config.remediation != "off":
+                remediation.observe_completion(completion.latency)
+            if _recorder is not None:
+                _recorder.on_complete(completion)
             tracker.on_complete(completion)
+
+    request_observer: _t.Optional[_t.Callable[[_t.Any], None]] = (
+        tracker.observe_request if config.record_requests else None
+    )
+    if recorder is not None:
+        _base_observer = request_observer
+        _trace_observer = recorder.observe_request
+        if _base_observer is None:
+            request_observer = _trace_observer
+        else:
+
+            def request_observer(request: _t.Any) -> None:
+                _base_observer(request)
+                _trace_observer(request)
 
     # Construction order matters for byte-identical determinism: shared
     # machinery, then clients (strategy before client), then servers, then
@@ -212,9 +244,7 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
                 request_recorder=tracker if config.record_requests else None,
                 metrics=metrics,
                 on_complete=on_complete,
-                request_observer=(
-                    tracker.observe_request if config.record_requests else None
-                ),
+                request_observer=request_observer,
             )
         )
     servers = [
@@ -277,6 +307,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
         extras.update(remediation.extras())
     if placement.swaps:
         extras["placement_swaps"] = float(placement.swaps)
+    if recorder is not None:
+        extras.update(recorder.extras())
 
     return RunResult(
         config=config,
@@ -292,6 +324,7 @@ def run_experiment(config: ExperimentConfig, seed: int = 1) -> RunResult:
         tasks_completed=tracker.completed,
         requests_served=requests_served,
         extras=extras,
+        traces=recorder.traces if recorder is not None else None,
     )
 
 
@@ -316,4 +349,5 @@ def run_seeds(
 
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..trace import TaskTrace, TraceRecorder
     from .parallel import GridExecutor

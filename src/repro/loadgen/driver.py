@@ -20,6 +20,7 @@ imitated, which is what the sim<->live differential harness
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 import typing as _t
 
@@ -52,6 +53,7 @@ from .transport import LiveTransport, LiveTransportError
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..cluster.messages import TaskCompletion
+    from ..trace import TraceRecorder
 
 
 class _LiveTracker:
@@ -299,14 +301,29 @@ async def run_live(
         warmup_tasks = int(config.warmup_fraction * config.n_tasks)
         tracker = _LiveTracker(config.n_tasks, warmup_tasks)
 
+        # Same recorder as the simulated runner: sampling is a pure
+        # function of the task id, so a live run and its sim twin sample
+        # the *same* tasks.  The transport hook propagates the context
+        # over the wire per sampled op.
+        recorder: _t.Optional["TraceRecorder"] = None
+        if config.trace_sample > 0.0:
+            from ..trace import TraceRecorder as _TraceRecorder
+
+            recorder = _TraceRecorder(clock, config.trace_sample, warmup_tasks)
+            transport.trace_sampler = recorder.wire_trace_id
+
         # Same late-bound pattern as the simulated runner: the driver is
         # assembled after the strategies exist, completions only start
         # arriving once the feeder runs.
         on_complete: _t.Callable[["TaskCompletion"], None] = tracker.on_complete
-        if config.remediation != "off":
+        if config.remediation != "off" or recorder is not None:
+            _recorder = recorder
 
             def on_complete(completion: "TaskCompletion") -> None:
-                remediation.observe_completion(completion.latency)
+                if config.remediation != "off":
+                    remediation.observe_completion(completion.latency)
+                if _recorder is not None:
+                    _recorder.on_complete(completion)
                 tracker.on_complete(completion)
 
         # Same construction order as the simulated runner: shared machinery,
@@ -325,6 +342,9 @@ async def run_live(
                     strategy=strategy,
                     metrics=metrics,
                     on_complete=on_complete,
+                    request_observer=(
+                        recorder.observe_request if recorder is not None else None
+                    ),
                 )
             )
         faults = LiveFaultDriver(
@@ -340,6 +360,19 @@ async def run_live(
             config, clock, placement, ctx.shared, strategies,
             transport.backlog_depths,
         )
+        # Close the cluster-wide observability loop: stream this load
+        # generator's client-side BusSnapshots to every endpoint over the
+        # admin plane, so `repro watch` and the Prometheus exporter see
+        # windowed client-side percentiles even for a --procs N cluster.
+        # Gated on the server's capability advertisement (old servers
+        # would reject the unknown admin command and poison the stream).
+        if remediation is not None and "bus-report" in transport.features:
+            reporter = f"loadgen-{os.getpid()}"
+            remediation.bus.subscribe(
+                on_snapshot=lambda snapshot: transport.report_bus(
+                    reporter, snapshot.to_dict()
+                )
+            )
         generator = workload.generator(streams)
         expected_model_s = config.n_tasks / workload.task_rate
         if wall_timeout is None:
@@ -474,6 +507,11 @@ async def run_live(
             extras.update(remediation.extras())
         if placement.swaps:
             extras["placement_swaps"] = float(placement.swaps)
+        if recorder is not None:
+            extras.update(recorder.extras())
+            extras["live_traced_ops"] = float(
+                stats_after.get("traced_ops", 0) - stats_before.get("traced_ops", 0)
+            )
 
         return RunResult(
             config=config,
@@ -489,6 +527,7 @@ async def run_live(
             tasks_completed=tracker.completed,
             requests_served=requests_served,
             extras=extras,
+            traces=recorder.traces if recorder is not None else None,
         )
     finally:
         for task in (feeder, done_waiter):

@@ -181,6 +181,7 @@ class LiveTransport:
         self._rr: _t.Dict[Endpoint, int] = {}
         self._stats_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
         self._metrics_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
+        self._client_bus_waiters: "_t.Dict[Endpoint, _t.List[asyncio.Future[_t.Dict[str, _t.Any]]]]" = {}
         #: Set on connection loss / protocol error / op rejection.
         self.failed: "asyncio.Future[None]" = (
             asyncio.get_running_loop().create_future()
@@ -188,6 +189,13 @@ class LiveTransport:
         self.ops_sent = 0
         self.responses_received = 0
         self.congestion_signals = 0
+        #: Trace-context hook: when set, called per outbound op with the
+        #: request; a non-None return is the 64-bit context to propagate
+        #: (v2: the traced-op frame; v1: an optional JSON key old servers
+        #: ignore, preserving interop).
+        self.trace_sampler: _t.Optional[
+            _t.Callable[["RequestMessage"], _t.Optional[int]]
+        ] = None
         #: Latest piggybacked backlog (queued + in service) per server id,
         #: refreshed on every result frame -- the live realm's view of
         #: server heat for the metrics bus (sim reads the servers directly).
@@ -259,6 +267,7 @@ class LiveTransport:
                 transport._rr[endpoint] = 0
                 transport._stats_waiters[endpoint] = []
                 transport._metrics_waiters[endpoint] = []
+                transport._client_bus_waiters[endpoint] = []
         for endpoint, workers in transport._endpoint_workers.items():
             for worker_id in workers:
                 transport._worker_links[worker_id] = transport._endpoint_links[
@@ -365,8 +374,23 @@ class LiveTransport:
         self._next_rid = (rid + 1) & _RID_MASK
         self._pending[rid] = request
         self.ops_sent += 1
+        trace = (
+            self.trace_sampler(request) if self.trace_sampler is not None else None
+        )
         codec = link.codec
         if codec is BINARY_CODEC:
+            if trace is not None:
+                link.out.send(
+                    codec.encode_op_traced(
+                        rid,
+                        worker_id,
+                        request.op.key,
+                        request.op.value_size,
+                        request.priority,
+                        trace,
+                    )
+                )
+                return
             # Hot path: struct-pack the op without building the frame dict.
             link.out.send(
                 codec.encode_op(
@@ -378,16 +402,19 @@ class LiveTransport:
                 )
             )
         else:
-            link.send_frame(
-                {
-                    "t": "op",
-                    "rid": rid,
-                    "server": worker_id,
-                    "key": request.op.key,
-                    "size": request.op.value_size,
-                    "prio": priority_to_wire(request.priority),
-                }
-            )
+            frame = {
+                "t": "op",
+                "rid": rid,
+                "server": worker_id,
+                "key": request.op.key,
+                "size": request.op.value_size,
+                "prio": priority_to_wire(request.priority),
+            }
+            if trace is not None:
+                # v1 interop: old servers read only the fields they know,
+                # so the context is silently dropped rather than rejected.
+                frame["trace"] = trace
+            link.send_frame(frame)
 
     def admin(self, frame: _t.Mapping[str, _t.Any]) -> None:
         """Fan one admin frame out to the endpoints it concerns.
@@ -410,6 +437,67 @@ class LiveTransport:
             trimmed = dict(frame)
             trimmed["servers"] = local
             links[0].send_frame(trimmed)
+
+    @property
+    def features(self) -> _t.FrozenSet[str]:
+        """Optional capabilities the cluster advertised in its hello-ack.
+
+        Empty for servers predating the advertisement; callers gate
+        optional admin commands on membership instead of probing.
+        """
+        raw = self.ack.get("features")
+        if not isinstance(raw, (list, tuple)):
+            return frozenset()
+        return frozenset(str(f) for f in raw)
+
+    def report_bus(
+        self, reporter: str, snapshot: _t.Mapping[str, _t.Any]
+    ) -> None:
+        """Push one client-side BusSnapshot to every endpoint.
+
+        Fire-and-forget: the snapshot rides the admin plane (no
+        ``servers`` key, so the fan-out reaches the whole cluster) and
+        each server keeps the newest per reporter for ``client-bus``
+        readers like ``repro watch``.
+        """
+        self.admin(
+            {
+                "t": "admin",
+                "cmd": "bus-report",
+                "reporter": reporter,
+                "snapshot": dict(snapshot),
+            }
+        )
+
+    async def fetch_client_bus(self) -> _t.Dict[str, _t.Dict[str, _t.Any]]:
+        """Collect every endpoint's client-side snapshots, merged.
+
+        Endpoints may have seen different report generations (reports are
+        fire-and-forget); the newest snapshot per reporter (by ``seq``)
+        wins.
+        """
+        loop = asyncio.get_running_loop()
+        futures: _t.List["asyncio.Future[_t.Dict[str, _t.Any]]"] = []
+        for endpoint in self._endpoint_links:
+            future: "asyncio.Future[_t.Dict[str, _t.Any]]" = loop.create_future()
+            self._client_bus_waiters[endpoint].append(future)
+            futures.append(future)
+        self.admin({"t": "admin", "cmd": "client-bus"})
+        replies = await asyncio.gather(*futures)
+        merged: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
+        for reply in replies:
+            snapshots = reply.get("snapshots")
+            if not isinstance(snapshots, dict):
+                continue
+            for reporter, snapshot in snapshots.items():
+                if not isinstance(snapshot, dict):
+                    continue
+                seen = merged.get(reporter)
+                if seen is None or float(snapshot.get("seq", 0)) >= float(
+                    seen.get("seq", 0)
+                ):
+                    merged[reporter] = snapshot
+        return merged
 
     async def fetch_stats(self) -> _t.Dict[str, _t.Any]:
         """Request every endpoint's stats frame and merge the replies."""
@@ -453,6 +541,7 @@ class LiveTransport:
             "frames_sent",
             "bytes_sent",
             "writes",
+            "traced_ops",
         ):
             if any(key in reply for reply in replies):
                 merged[key] = sum(reply.get(key, 0) for reply in replies)
@@ -491,6 +580,12 @@ class LiveTransport:
                     future.set_result(frame)
         elif kind == "metrics":
             waiters = self._metrics_waiters.get(link.endpoint)
+            if waiters:
+                future = waiters.pop(0)
+                if not future.done():
+                    future.set_result(frame)
+        elif kind == "client-bus":
+            waiters = self._client_bus_waiters.get(link.endpoint)
             if waiters:
                 future = waiters.pop(0)
                 if not future.done():

@@ -230,15 +230,29 @@ class MetricsBus:
         return self.snapshots[-1] if self.snapshots else None
 
 
+def escape_label_value(value: _t.Any) -> str:
+    """Escape one label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside a quoted label value.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def prometheus_line(
     name: str,
     value: float,
     labels: _t.Optional[_t.Mapping[str, _t.Any]] = None,
 ) -> str:
-    """One Prometheus text-format sample line."""
+    """One Prometheus text-format sample line (label values escaped)."""
     if labels:
         rendered = ",".join(
-            f'{k}="{v}"' for k, v in sorted(labels.items())
+            f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
         )
         return f"{name}{{{rendered}}} {value}"
     return f"{name} {value}"
@@ -248,17 +262,31 @@ def render_prometheus(
     metrics: _t.Mapping[str, float],
     prefix: str = "repro",
     labels: _t.Optional[_t.Mapping[str, _t.Any]] = None,
+    help_texts: _t.Optional[_t.Mapping[str, str]] = None,
 ) -> str:
     """Render a flat metric mapping as Prometheus exposition text.
 
-    Keys are sanitized to ``[a-zA-Z0-9_]`` and prefixed; the result ends
-    with a trailing newline as the format requires.
+    Keys are sanitized to ``[a-zA-Z0-9_]`` and prefixed; every metric is
+    announced with ``# HELP`` / ``# TYPE`` comment lines (all exported
+    values are point-in-time reads, so the type is always ``gauge``), and
+    the result ends with a trailing newline as the format requires.
+    ``help_texts`` overrides the generic help string per (unprefixed)
+    key.
     """
     lines = []
     for key in sorted(metrics):
         safe = "".join(c if c.isalnum() or c == "_" else "_" for c in key)
-        lines.append(prometheus_line(f"{prefix}_{safe}", metrics[key], labels))
+        name = f"{prefix}_{safe}"
+        help_text = (help_texts or {}).get(key, f"repro metric {safe}")
+        lines.append(f"# HELP {name} {escape_help_text(help_text)}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(prometheus_line(name, metrics[key], labels))
     return "\n".join(lines) + "\n"
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def snapshot_prometheus(snapshot: BusSnapshot, prefix: str = "repro") -> str:
@@ -274,10 +302,15 @@ def snapshot_prometheus(snapshot: BusSnapshot, prefix: str = "repro") -> str:
         "served_rate": snapshot.served_rate,
     }
     text = render_prometheus(flat, prefix=prefix)
+    if not snapshot.queue_depths:
+        return text
+    name = f"{prefix}_queue_depth"
     depth_lines = [
-        prometheus_line(
-            f"{prefix}_queue_depth", float(depth), {"server": server}
-        )
-        for server, depth in enumerate(snapshot.queue_depths)
+        f"# HELP {name} windowed-mean backlog per server",
+        f"# TYPE {name} gauge",
     ]
-    return text + "\n".join(depth_lines) + ("\n" if depth_lines else "")
+    depth_lines.extend(
+        prometheus_line(name, float(depth), {"server": server})
+        for server, depth in enumerate(snapshot.queue_depths)
+    )
+    return text + "\n".join(depth_lines) + "\n"

@@ -44,12 +44,18 @@ from .protocol import MAX_FRAME_BYTES, ProtocolError, _LENGTH
 TAG_OP = 0x01
 TAG_RES = 0x02
 TAG_CONGESTION = 0x03
+#: An op carrying a 64-bit trace context (sampled request).  A separate
+#: tag rather than an optional suffix: ``TAG_OP`` decode enforces an
+#: exact length, which is what catches truncation, so the traced layout
+#: gets its own exact length instead of weakening that check.
+TAG_OP_TRACE = 0x04
 #: Control-plane frames (hello, hello-ack, admin, admin-ack, stats, error)
 #: travel as JSON behind this tag.
 TAG_JSON = 0x7F
 
 _OP_HEAD = struct.Struct("<IHqIB")  # rid, server, key, size, n_priorities
 _PRIO = struct.Struct("<d")
+_TRACE = struct.Struct("<Q")  # 64-bit trace context, appended to the op
 _RES = struct.Struct("<IHddIHd")  # rid, server, queue_wait, service, q, s, ew
 _CONGESTION = struct.Struct("<Hd")  # server, ratio
 
@@ -58,6 +64,7 @@ _CONGESTION = struct.Struct("<Hd")  # server, ratio
 _U16 = 1 << 16
 _U32 = 1 << 32
 _I64 = 1 << 63
+_U64 = 1 << 64
 
 
 class JsonCodec:
@@ -103,6 +110,16 @@ class BinaryCodec:
     def encode(self, frame: _t.Mapping[str, _t.Any]) -> bytes:
         kind = frame.get("t")
         if kind == "op":
+            trace = frame.get("trace")
+            if trace is not None:
+                return self.encode_op_traced(
+                    frame["rid"],
+                    frame["server"],
+                    frame["key"],
+                    frame["size"],
+                    frame["prio"],
+                    trace,
+                )
             return self.encode_op(
                 frame["rid"],
                 frame["server"],
@@ -165,6 +182,37 @@ class BinaryCodec:
         for p in priority:
             _PRIO.pack_into(frame, offset, p)
             offset += 8
+        return bytes(frame)
+
+    def encode_op_traced(
+        self,
+        rid: int,
+        server: int,
+        key: int,
+        size: int,
+        priority: _t.Sequence[float],
+        trace: int,
+    ) -> bytes:
+        """Fast path for a sampled op: the op layout plus a 64-bit context."""
+        n_prio = len(priority)
+        if not (
+            0 <= rid < _U32
+            and 0 <= server < _U16
+            and -_I64 <= key < _I64
+            and 0 <= size < _U32
+            and n_prio < 256
+        ):
+            self._op_bounds_error(rid, server, key, size, n_prio)
+        _check(0 <= trace < _U64, f"op trace context {trace} out of range")
+        frame = bytearray(5 + _OP_HEAD.size + n_prio * _PRIO.size + _TRACE.size)
+        _LENGTH.pack_into(frame, 0, len(frame) - 4)
+        frame[4] = TAG_OP_TRACE
+        _OP_HEAD.pack_into(frame, 5, rid, server, key, size, n_prio)
+        offset = 5 + _OP_HEAD.size
+        for p in priority:
+            _PRIO.pack_into(frame, offset, p)
+            offset += 8
+        _TRACE.pack_into(frame, offset, trace)
         return bytes(frame)
 
     @staticmethod
@@ -263,6 +311,34 @@ class BinaryCodec:
                 "key": key,
                 "size": size,
                 "prio": priority,
+            }
+        if tag == TAG_OP_TRACE:
+            if length - 1 < _OP_HEAD.size:
+                raise ProtocolError(
+                    f"traced op frame truncated at byte {at}: {length - 1} of "
+                    f"{_OP_HEAD.size} header bytes"
+                )
+            rid, server, key, size, n_prio = _OP_HEAD.unpack_from(buf, body)
+            want = _OP_HEAD.size + n_prio * _PRIO.size + _TRACE.size
+            if length - 1 != want:
+                raise ProtocolError(
+                    f"traced op frame at byte {at} carries {length - 1} bytes "
+                    f"but declares {n_prio} priorities ({want} bytes)"
+                )
+            offset = body + _OP_HEAD.size
+            priority = tuple(
+                _PRIO.unpack_from(buf, offset + i * _PRIO.size)[0]
+                for i in range(n_prio)
+            )
+            (trace,) = _TRACE.unpack_from(buf, offset + n_prio * _PRIO.size)
+            return {
+                "t": "op",
+                "rid": rid,
+                "server": server,
+                "key": key,
+                "size": size,
+                "prio": priority,
+                "trace": trace,
             }
         if tag == TAG_RES:
             if length - 1 != _RES.size:

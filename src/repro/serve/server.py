@@ -159,6 +159,12 @@ class LiveServer:
         self.connections: _t.List[_Connection] = []
         self.frames_received = 0
         self.congestion_frames_sent = 0
+        #: Ops that arrived carrying a trace context (sampled requests).
+        self.traced_ops = 0
+        #: Latest client-side BusSnapshot per reporter (``bus-report``
+        #: admin frames); served back via the ``client-bus`` command so
+        #: ``repro watch`` sees cluster-wide client-side percentiles.
+        self.client_bus: _t.Dict[str, _t.Dict[str, _t.Any]] = {}
         #: I/O totals of connections that already closed (open connections
         #: are summed live in :meth:`io_counters`).
         self._closed_io = {"frames_sent": 0, "bytes_sent": 0, "writes": 0}
@@ -326,6 +332,11 @@ class LiveServer:
             # priority and corrupt any priority-scheduling measurement.
             raise ProtocolError(f"op {rid} is missing its priority")
         priority = priority_from_wire(frame["prio"])
+        if frame.get("trace") is not None:
+            # The context itself rides back implicitly: the res frame is
+            # matched to the pending request client-side, and already
+            # piggybacks the queue/service timestamps the span needs.
+            self.traced_ops += 1
 
         def respond(
             worker: LiveWorker, job: LiveJob, queue_wait: float, service: float
@@ -385,6 +396,10 @@ class LiveServer:
                 "scenario": self.scenario,
                 "seed": self.seed,
                 "workers": list(self.worker_ids),
+                # Capability advertisement: older clients ignore the key,
+                # newer clients gate optional admin commands on it instead
+                # of probing (a probe rejection would poison the stream).
+                "features": ["trace-context", "bus-report", "client-bus"],
             }
         )
         # The ack itself travels in v1 (encoded above); everything after
@@ -433,26 +448,63 @@ class LiveServer:
                 "connections": float(len(self.connections)),
                 "frames_received": float(self.frames_received),
                 "congestion_frames_sent": float(self.congestion_frames_sent),
+                "traced_ops": float(self.traced_ops),
                 "uptime_model_s": now,
             },
             prefix="repro_serve",
         )
         lines = [text.rstrip("\n")]
-        for worker_id in self.worker_ids:
-            worker = self.workers[worker_id]
-            labels = {"worker": worker_id}
-            for name, value in (
-                ("queued", float(worker.queue_length())),
-                ("in_service", float(worker.in_service)),
-                ("completed", float(worker.completed)),
-                ("rejected", float(worker.rejected)),
-                ("arrival_rate", worker.arrival_rate.rate(now)),
-                ("busy_time_s", worker.busy_time),
-                ("speed_factor", worker.speed_factor),
-            ):
+        # Outer loop over metric *names*: the exposition format wants all
+        # samples of one metric in a single group under its TYPE line.
+        for name, read in (
+            ("queued", lambda w: float(w.queue_length())),
+            ("in_service", lambda w: float(w.in_service)),
+            ("completed", lambda w: float(w.completed)),
+            ("rejected", lambda w: float(w.rejected)),
+            ("arrival_rate", lambda w: w.arrival_rate.rate(now)),
+            ("busy_time_s", lambda w: w.busy_time),
+            ("speed_factor", lambda w: w.speed_factor),
+        ):
+            full = f"repro_serve_worker_{name}"
+            lines.append(f"# HELP {full} per-worker live gauge {name}")
+            lines.append(f"# TYPE {full} gauge")
+            for worker_id in self.worker_ids:
                 lines.append(
-                    prometheus_line(f"repro_serve_worker_{name}", value, labels)
+                    prometheus_line(
+                        full, read(self.workers[worker_id]), {"worker": worker_id}
+                    )
                 )
+        # Client-side windowed percentiles reported over the admin plane
+        # (`bus-report`): the exporter view of the cluster-wide bus.
+        if self.client_bus:
+            for field in (
+                "latency_p50_ms",
+                "latency_p99_ms",
+                "arrival_rate",
+                "served_rate",
+                "completed",
+                "seq",
+            ):
+                full = f"repro_client_{field}"
+                samples = [
+                    (reporter, self.client_bus[reporter].get(field))
+                    for reporter in sorted(self.client_bus)
+                ]
+                samples = [
+                    (reporter, value)
+                    for reporter, value in samples
+                    if isinstance(value, (int, float))
+                ]
+                if not samples:
+                    continue
+                lines.append(
+                    f"# HELP {full} client-side windowed bus field {field}"
+                )
+                lines.append(f"# TYPE {full} gauge")
+                for reporter, value in samples:
+                    lines.append(
+                        prometheus_line(full, float(value), {"reporter": reporter})
+                    )
         return "\n".join(lines) + "\n"
 
     async def _handle_metrics_http(
@@ -509,6 +561,21 @@ class LiveServer:
         elif command == "clear-jitter":
             for worker in targets:
                 worker.set_jitter(0.0, 0.0)
+        elif command == "bus-report":
+            # A load generator pushing its client-side BusSnapshot; the
+            # newest (by seq) per reporter wins, so reports may race.
+            reporter = str(frame.get("reporter", ""))
+            snapshot = frame.get("snapshot")
+            if not reporter or not isinstance(snapshot, dict):
+                raise ProtocolError("bus-report needs a reporter and a snapshot")
+            previous = self.client_bus.get(reporter)
+            if previous is None or float(snapshot.get("seq", 0)) >= float(
+                previous.get("seq", 0)
+            ):
+                self.client_bus[reporter] = snapshot
+        elif command == "client-bus":
+            connection.send({"t": "client-bus", "snapshots": dict(self.client_bus)})
+            return
         elif command == "stats":
             workers = [
                 self.workers[i].stats() for i in self.worker_ids
@@ -518,6 +585,7 @@ class LiveServer:
                 "completed": sum(w.completed for w in self.workers.values()),
                 "rejected": sum(w.rejected for w in self.workers.values()),
                 "frames_received": self.frames_received,
+                "traced_ops": self.traced_ops,
                 "uptime_model_s": self.clock.now,
                 "workers": workers,
             }

@@ -22,6 +22,7 @@ from repro.serve.codec import (
     TAG_CONGESTION,
     TAG_JSON,
     TAG_OP,
+    TAG_OP_TRACE,
     TAG_RES,
     codec_for,
 )
@@ -240,7 +241,9 @@ class TestHostileBytes:
 
     @given(
         tag=st.integers(min_value=0, max_value=255).filter(
-            lambda t: t not in (TAG_OP, TAG_RES, TAG_CONGESTION, TAG_JSON)
+            lambda t: t not in (
+                TAG_OP, TAG_RES, TAG_CONGESTION, TAG_OP_TRACE, TAG_JSON
+            )
         ),
         body=st.binary(max_size=32),
     )

@@ -1,5 +1,7 @@
 """Unit tests for the streamed metrics bus primitives."""
 
+import re
+
 import pytest
 
 from repro.metrics.bus import (
@@ -8,10 +10,50 @@ from repro.metrics.bus import (
     BusSnapshot,
     MetricsBus,
     WindowedQuantiles,
+    escape_help_text,
+    escape_label_value,
     prometheus_line,
     render_prometheus,
     snapshot_prometheus,
 )
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_COMMENT_RE = re.compile(rf"^# (HELP|TYPE) {_NAME} .+$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME})(?:\{{{_NAME}=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    rf"(?:,{_NAME}=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\}})? "
+    r"[0-9eE+\-.naif]+$"
+)
+
+
+def validate_exposition(text):
+    """Assert ``text`` is well-formed Prometheus exposition format.
+
+    Every line parses as a comment or a sample; every sample's family
+    has a ``# TYPE`` line; all samples of a family are contiguous (the
+    format forbids interleaving groups).
+    """
+    assert text.endswith("\n")
+    typed = set()
+    family_order = []
+    for line in text.splitlines():
+        if line.startswith("#"):
+            match = _COMMENT_RE.match(line)
+            assert match, f"malformed comment line: {line!r}"
+            if match.group(1) == "TYPE":
+                typed.add(line.split()[2])
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        family = match.group(1)
+        if not family_order or family_order[-1] != family:
+            family_order.append(family)
+    assert set(family_order) <= typed, (
+        f"families missing TYPE lines: {set(family_order) - typed}"
+    )
+    assert len(family_order) == len(set(family_order)), (
+        f"interleaved metric families: {family_order}"
+    )
 
 
 class TestWindowedQuantiles:
@@ -144,7 +186,12 @@ class TestPrometheusRendering:
 
     def test_render_sanitizes_and_prefixes_keys(self):
         text = render_prometheus({"p99 (ms)": 1.5})
-        assert text == "repro_p99__ms_ 1.5\n"
+        assert text.splitlines() == [
+            "# HELP repro_p99__ms_ repro metric p99__ms_",
+            "# TYPE repro_p99__ms_ gauge",
+            "repro_p99__ms_ 1.5",
+        ]
+        assert text.endswith("\n")
 
     def test_snapshot_prometheus_has_per_server_depth_lines(self):
         snapshot = BusSnapshot(
@@ -157,3 +204,46 @@ class TestPrometheusRendering:
         assert 'repro_queue_depth{server="0"} 0.0' in text
         assert 'repro_queue_depth{server="1"} 3.5' in text
         assert text.endswith("\n")
+
+
+class TestExpositionEscaping:
+    def test_label_values_escape_the_three_special_characters(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(7) == "7"
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        assert escape_help_text("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_hostile_label_value_stays_one_well_formed_line(self):
+        line = prometheus_line("m", 1.0, {"who": 'ev"il\\\n'})
+        assert line == 'm{who="ev\\"il\\\\\\n"} 1.0'
+        assert "\n" not in line
+
+
+class TestExpositionFormat:
+    """Satellite contract: exported pages parse as valid exposition text."""
+
+    def test_render_prometheus_is_well_formed(self):
+        validate_exposition(render_prometheus(
+            {"p99 (ms)": 1.5, "served/rate": 2.0, "completed": 7.0},
+            labels={"worker": 3},
+        ))
+
+    def test_render_prometheus_honors_help_overrides(self):
+        text = render_prometheus(
+            {"depth": 1.0}, help_texts={"depth": "queue depth\nper worker"}
+        )
+        assert "# HELP repro_depth queue depth\\nper worker" in text
+        validate_exposition(text)
+
+    def test_snapshot_prometheus_is_well_formed(self):
+        snapshot = BusSampler(window=0.1).snapshot(0.5, seq=3)
+        validate_exposition(snapshot_prometheus(snapshot))
+
+    def test_snapshot_with_depths_is_well_formed(self):
+        sampler = BusSampler(window=0.1)
+        sampler.observe_depths(0.0, (1.0, 2.0, 3.0))
+        sampler.observe_completion(0.0, 0.004)
+        validate_exposition(snapshot_prometheus(sampler.snapshot(0.0, seq=1)))
